@@ -1,0 +1,1 @@
+bench/eval.ml: Corpus List Nadroid_core Nadroid_corpus Nadroid_dynamic Nadroid_lang Printf Spec String

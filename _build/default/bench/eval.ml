@@ -1,0 +1,87 @@
+(* Shared evaluation plumbing for the benchmark drivers: analyzing corpus
+   apps, validating survivors, attributing false positives to their
+   seeded §8.5 cause, and printing aligned tables. *)
+
+open Nadroid_corpus
+module Pipeline = Nadroid_core.Pipeline
+module Detect = Nadroid_core.Detect
+module Filters = Nadroid_core.Filters
+module Classify = Nadroid_core.Classify
+module Explorer = Nadroid_dynamic.Explorer
+
+type evaluated = {
+  app : Corpus.app;
+  result : Pipeline.t;
+  row : Pipeline.row;
+  (* survivors paired with their dynamic-validation verdict *)
+  verdicts : (Detect.warning * bool) list;
+}
+
+let analyze ?config (app : Corpus.app) : Pipeline.t =
+  Pipeline.analyze ?config ~file:app.Corpus.name app.Corpus.source
+
+let validation_runs = 120
+
+let validation_steps = 70
+
+let evaluate ?config (app : Corpus.app) : evaluated =
+  let result = analyze ?config app in
+  let verdicts =
+    List.map
+      (fun w ->
+        let v =
+          Explorer.validate result.Pipeline.prog w ~runs:validation_runs
+            ~max_steps:validation_steps ()
+        in
+        (w, v.Explorer.v_harmful))
+      result.Pipeline.after_unsound
+  in
+  { app; result; row = Pipeline.row ~src:app.Corpus.source result; verdicts }
+
+let harmful_count e = List.length (List.filter snd e.verdicts)
+
+(* Map a warning back to the pattern that seeded it: generated fields are
+   declared on the activity named in the seed record. *)
+let seeded_of (app : Corpus.app) (w : Detect.warning) : Spec.seeded option =
+  let fr = w.Detect.w_field in
+  List.find_opt
+    (fun (sd : Spec.seeded) ->
+      String.equal sd.Spec.sd_field fr.Nadroid_lang.Sema.fr_name
+      && String.equal sd.Spec.sd_activity fr.Nadroid_lang.Sema.fr_class)
+    app.Corpus.seeded
+
+(* §8.5 false-positive attribution for a surviving, non-harmful warning. *)
+let fp_cause (app : Corpus.app) (w : Detect.warning) : string =
+  match seeded_of app w with
+  | Some { Spec.sd_expect = Spec.E_false_positive c; _ } -> Spec.fp_cause_to_string c
+  | Some _ | None -> "unattributed"
+
+(* -- table rendering -------------------------------------------------- *)
+
+let print_rule widths =
+  print_string "+";
+  List.iter (fun w -> print_string (String.make (w + 2) '-' ^ "+")) widths;
+  print_newline ()
+
+let print_row widths cells =
+  print_string "|";
+  List.iter2 (fun w c -> Printf.printf " %-*s |" w c) widths cells;
+  print_newline ()
+
+let print_table ~header rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) (String.length h) rows)
+      header
+  in
+  print_rule widths;
+  print_row widths header;
+  print_rule widths;
+  List.iter (print_row widths) rows;
+  print_rule widths
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let section title =
+  Printf.printf "\n== %s ==\n\n" title

@@ -1,0 +1,211 @@
+(* nadroid — command-line front end.
+
+     nadroid analyze  app.mand      static UAF analysis + report
+     nadroid validate app.mand      analysis + dynamic schedule validation
+     nadroid forest   app.mand      print the threadification forest
+     nadroid ir       app.mand      dump the lowered IR
+     nadroid deva     app.mand      run the DEvA baseline
+     nadroid run      app.mand      one random simulator run
+     nadroid corpus [NAME]          list corpus apps / dump one source *)
+
+open Cmdliner
+module Pipeline = Nadroid_core.Pipeline
+module Filters = Nadroid_core.Filters
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_diag f =
+  match Nadroid_lang.Diag.protect f with
+  | Ok x -> x
+  | Error d ->
+      Fmt.epr "%a@." Nadroid_lang.Diag.pp d;
+      exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniAndroid source file")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"object-sensitivity depth (default 2)")
+
+let sound_only_arg =
+  Arg.(value & flag & info [ "sound-only" ] ~doc:"apply only the sound filters (MHB, IG, IA)")
+
+let analyze_pipeline path k sound_only =
+  let src = read_file path in
+  let config =
+    {
+      Pipeline.default_config with
+      Pipeline.k;
+      unsound = (if sound_only then [] else Filters.unsound);
+    }
+  in
+  with_diag (fun () -> Pipeline.analyze ~config ~file:path src)
+
+let analyze_cmd =
+  let run path k sound_only =
+    let t = analyze_pipeline path k sound_only in
+    Fmt.pr "potential UAFs: %d; after sound filters: %d; after unsound filters: %d@.@."
+      (List.length t.Pipeline.potential)
+      (List.length t.Pipeline.after_sound)
+      (List.length t.Pipeline.after_unsound);
+    print_string (Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"statically detect UAF ordering violations")
+    Term.(const run $ file_arg $ k_arg $ sound_only_arg)
+
+let validate_cmd =
+  let runs_arg =
+    Arg.(value & opt int 150 & info [ "runs" ] ~doc:"random schedules per warning")
+  in
+  let run path k runs =
+    let t = analyze_pipeline path k false in
+    List.iter
+      (fun w ->
+        let v = Nadroid_dynamic.Explorer.validate t.Pipeline.prog w ~runs () in
+        Fmt.pr "%s: %s@."
+          (Nadroid_core.Report.field_name w.Nadroid_core.Detect.w_field)
+          (if v.Nadroid_dynamic.Explorer.v_harmful then "HARMFUL (witness schedule found)"
+           else "no witness found");
+        match v.Nadroid_dynamic.Explorer.v_witness with
+        | Some trace ->
+            Fmt.pr "  schedule: %a@."
+              Fmt.(list ~sep:(any " ; ") Nadroid_dynamic.World.pp_action)
+              trace
+        | None -> ())
+      t.Pipeline.after_unsound
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"dynamically validate surviving warnings")
+    Term.(const run $ file_arg $ k_arg $ runs_arg)
+
+let forest_cmd =
+  let run path k =
+    let t = analyze_pipeline path k false in
+    Fmt.pr "%a" Nadroid_core.Threadify.pp_forest t.Pipeline.threads
+  in
+  Cmd.v
+    (Cmd.info "forest" ~doc:"print the threadification forest (modeled threads)")
+    Term.(const run $ file_arg $ k_arg)
+
+let dot_cmd =
+  let run path k =
+    let t = analyze_pipeline path k false in
+    print_string (Nadroid_core.Threadify.to_dot t.Pipeline.threads)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"emit the threadification forest as Graphviz")
+    Term.(const run $ file_arg $ k_arg)
+
+let ir_cmd =
+  let run path =
+    let src = read_file path in
+    let prog = with_diag (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
+    List.iter (fun b -> Fmt.pr "%a@.@." Nadroid_ir.Cfg.pp b) (Nadroid_ir.Prog.user_bodies prog)
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"dump the lowered IR of user methods") Term.(const run $ file_arg)
+
+let deva_cmd =
+  let run path =
+    let src = read_file path in
+    let prog = with_diag (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
+    List.iter (fun w -> Fmt.pr "%a@." Nadroid_deva.Deva.pp w) (Nadroid_deva.Deva.run prog)
+  in
+  Cmd.v
+    (Cmd.info "deva" ~doc:"run the DEvA event-anomaly baseline")
+    Term.(const run $ file_arg)
+
+let run_cmd =
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"schedule seed") in
+  let steps_arg = Arg.(value & opt int 100 & info [ "steps" ] ~doc:"max schedule steps") in
+  let run path seed steps =
+    let src = read_file path in
+    let prog = with_diag (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
+    let o = Nadroid_dynamic.Explorer.random_run prog ~seed ~max_steps:steps in
+    Fmt.pr "schedule (%d steps): %a@." o.Nadroid_dynamic.Explorer.o_steps
+      Fmt.(list ~sep:(any " ; ") Nadroid_dynamic.World.pp_action)
+      o.Nadroid_dynamic.Explorer.o_trace;
+    List.iter
+      (fun (npe : Nadroid_dynamic.Interp.npe) ->
+        Fmt.pr "NullPointerException at %a (%a)@." Nadroid_ir.Instr.pp_mref
+          npe.Nadroid_dynamic.Interp.npe_mref Nadroid_lang.Loc.pp
+          npe.Nadroid_dynamic.Interp.npe_loc)
+      o.Nadroid_dynamic.Explorer.o_npes;
+    if o.Nadroid_dynamic.Explorer.o_crashed then Fmt.pr "(app crashed)@."
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"execute one random schedule in the simulator")
+    Term.(const run $ file_arg $ seed_arg $ steps_arg)
+
+let replay_cmd =
+  let sched_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"SCHEDULE" ~doc:"file with one action per line, as printed by validate")
+  in
+  let run path sched =
+    let src = read_file path in
+    let prog = with_diag (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
+    let script =
+      String.split_on_char '\n' (read_file sched)
+      |> List.concat_map (String.split_on_char ';')
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "")
+    in
+    let o = Nadroid_dynamic.Explorer.replay prog script in
+    Fmt.pr "replayed %d action(s)@." o.Nadroid_dynamic.Explorer.o_steps;
+    List.iter
+      (fun (npe : Nadroid_dynamic.Interp.npe) ->
+        Fmt.pr "NullPointerException at %a (%a)@." Nadroid_ir.Instr.pp_mref
+          npe.Nadroid_dynamic.Interp.npe_mref Nadroid_lang.Loc.pp
+          npe.Nadroid_dynamic.Interp.npe_loc)
+      o.Nadroid_dynamic.Explorer.o_npes
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"replay a recorded witness schedule")
+    Term.(const run $ file_arg $ sched_arg)
+
+let corpus_cmd =
+  let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let run name =
+    match name with
+    | None ->
+        List.iter
+          (fun (a : Nadroid_corpus.Corpus.app) ->
+            Fmt.pr "%-16s %s@." a.Nadroid_corpus.Corpus.name
+              (match a.Nadroid_corpus.Corpus.group with
+              | Nadroid_corpus.Corpus.Train -> "train"
+              | Nadroid_corpus.Corpus.Test -> "test"))
+          (Lazy.force Nadroid_corpus.Corpus.all)
+    | Some n -> (
+        match Nadroid_corpus.Corpus.find n with
+        | Some a -> print_string a.Nadroid_corpus.Corpus.source
+        | None ->
+            Fmt.epr "unknown corpus app %s@." n;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"list evaluation-corpus apps, or dump one app's source")
+    Term.(const run $ name_arg)
+
+let () =
+  let info = Cmd.info "nadroid" ~doc:"static ordering-violation detector for MiniAndroid apps" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd;
+            validate_cmd;
+            forest_cmd;
+            dot_cmd;
+            ir_cmd;
+            deva_cmd;
+            run_cmd;
+            replay_cmd;
+            corpus_cmd;
+          ]))

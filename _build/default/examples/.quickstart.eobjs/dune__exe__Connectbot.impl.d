@@ -1,0 +1,1 @@
+examples/connectbot.ml: Fmt List Nadroid_core Nadroid_corpus Nadroid_dynamic Nadroid_lang Option String

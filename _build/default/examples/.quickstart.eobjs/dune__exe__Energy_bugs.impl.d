@@ -1,0 +1,1 @@
+examples/energy_bugs.ml: Fmt List Nadroid_core Nadroid_dynamic Random

@@ -1,0 +1,1 @@
+examples/energy_bugs.mli:

@@ -1,0 +1,1 @@
+examples/firefox_scenario.ml: Fmt List Nadroid_core Nadroid_dynamic

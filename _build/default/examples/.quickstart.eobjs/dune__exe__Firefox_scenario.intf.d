@@ -1,0 +1,1 @@
+examples/firefox_scenario.mli:

@@ -1,0 +1,1 @@
+examples/lifecycle_explorer.ml: Fmt List Nadroid_android Nadroid_core Nadroid_dynamic Nadroid_ir

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Nadroid_core Nadroid_dynamic Option

@@ -1,0 +1,99 @@
+(* The FireFox case study (Fig 1(c)): a looper-vs-thread UAF that an
+   if-guard cannot fix.
+
+     dune exec examples/firefox_scenario.exe
+
+   onResume submits a Runnable to a pool thread that nulls [jClient];
+   onPause checks [jClient != null] before using it — but check and use
+   are not atomic with respect to the pool thread, so the guard is
+   unsound (§6.1.2). We show that:
+   - nAdroid keeps the warning (IG requires a common lock across threads);
+   - adding a shared lock makes IG prune it;
+   - a DEvA-style unconditional IG wrongly prunes the buggy version. *)
+
+module Pipeline = Nadroid_core.Pipeline
+module Filters = Nadroid_core.Filters
+
+let buggy =
+  {|
+class JavaClient {
+  field int refs;
+  method void abort() { refs = 0; }
+}
+class GeckoApp extends Activity {
+  field JavaClient jClient;
+  field Executor threadPool;
+  method void onCreate() { threadPool = new Executor(); jClient = new JavaClient(); }
+  method void onResume() {
+    threadPool.execute(new Runnable() {
+      method void run() { jClient = null; }
+    });
+  }
+  method void onPause() {
+    if (jClient != null) {
+      jClient.abort();
+    }
+  }
+}
+|}
+
+(* Same program with both sides protected by one lock: now the guard is
+   safe and the IG filter prunes the warning. *)
+let locked =
+  {|
+class JavaClient {
+  field int refs;
+  method void abort() { refs = 0; }
+}
+class GeckoApp extends Activity {
+  field JavaClient jClient;
+  field Executor threadPool;
+  field JavaClient lock;
+  method void onCreate() {
+    threadPool = new Executor();
+    jClient = new JavaClient();
+    lock = new JavaClient();
+  }
+  method void onResume() {
+    threadPool.execute(new Runnable() {
+      method void run() {
+        synchronized (lock) { jClient = null; }
+      }
+    });
+  }
+  method void onPause() {
+    synchronized (lock) {
+      if (jClient != null) {
+        jClient.abort();
+      }
+    }
+  }
+}
+|}
+
+let analyse name src config =
+  let t = Pipeline.analyze ~config ~file:(name ^ ".mand") src in
+  Fmt.pr "%-28s potential=%d remaining=%d@." name
+    (List.length t.Pipeline.potential)
+    (List.length t.Pipeline.after_unsound);
+  t
+
+let () =
+  Fmt.pr "--- Fig 1(c): guard without atomicity ---@.";
+  let t = analyse "firefox (buggy)" buggy Pipeline.default_config in
+  print_string (Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound);
+  List.iter
+    (fun w ->
+      let v = Nadroid_dynamic.Explorer.validate t.Pipeline.prog w () in
+      Fmt.pr "validation: %s@."
+        (if v.Nadroid_dynamic.Explorer.v_harmful then
+           "HARMFUL — the pool thread interleaves between check and use"
+         else "no witness"))
+    t.Pipeline.after_unsound;
+  Fmt.pr "@.--- same code under a common lock ---@.";
+  ignore (analyse "firefox (locked)" locked Pipeline.default_config);
+  Fmt.pr "@.--- DEvA-style unconditional if-guard (unsound, Section 2.3) ---@.";
+  ignore
+    (analyse "firefox (buggy, DEvA IG)" buggy
+       { Pipeline.default_config with Pipeline.atomic_ig = false });
+  Fmt.pr "(the unconditional filter prunes the real bug: a DEvA false negative)@."

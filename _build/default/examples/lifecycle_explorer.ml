@@ -1,0 +1,78 @@
+(* Exploring the Android lifecycle and schedule space.
+
+     dune exec examples/lifecycle_explorer.exe
+
+   Demonstrates the dynamic substrate on its own: the lifecycle automaton
+   (including the back edges that defeat naive happens-before reasoning,
+   §6.1.1), bounded-exhaustive schedule exploration of a small app, and
+   why the Resume-Happens-Before filter is *unsound* — the idiom it
+   trusts is safe only if onResume really re-allocates. *)
+
+module Explorer = Nadroid_dynamic.Explorer
+module Lifecycle = Nadroid_android.Lifecycle
+
+(* onPause frees, onResume restores, a click uses: the RHB idiom. *)
+let rhb_app =
+  {|
+class Snapshot {
+  field int age;
+  method void refresh() { age = 0; }
+}
+class CameraActivity extends Activity {
+  field Snapshot snap;
+  method void onResume() { snap = new Snapshot(); }
+  method void onPause() { snap = null; }
+  method void onStart() {
+    this.findViewById(7).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) { snap.refresh(); }
+    });
+  }
+}
+|}
+
+(* The same app without the restoring allocation: the idiom broken. *)
+let broken_app =
+  {|
+class Snapshot {
+  field int age;
+  method void refresh() { age = 0; }
+}
+class CameraActivity extends Activity {
+  field Snapshot snap;
+  method void onCreate() { snap = new Snapshot(); }
+  method void onPause() { snap = null; }
+  method void onStart() {
+    this.findViewById(7).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) { snap.refresh(); }
+    });
+  }
+}
+|}
+
+let () =
+  Fmt.pr "--- lifecycle sequences of length <= 5 (note the pause/resume back edge) ---@.";
+  let seqs = Lifecycle.sequences ~max_len:5 in
+  Fmt.pr "%d distinct prefixes; e.g.:@." (List.length seqs);
+  List.iteri
+    (fun i seq ->
+      if i < 6 then Fmt.pr "  %a@." Fmt.(list ~sep:(any " -> ") string) seq)
+    (List.filter (fun s -> List.length s = 5) seqs);
+  let explore name src =
+    let prog = Nadroid_ir.Prog.of_source ~file:(name ^ ".mand") src in
+    let npes = Explorer.exhaustive prog ~depth:6 in
+    Fmt.pr "@.%s: bounded-exhaustive exploration (depth 6) finds %d distinct NPE site(s)@." name
+      (List.length npes);
+    List.iter
+      (fun (npe : Nadroid_dynamic.Interp.npe) ->
+        Fmt.pr "  NPE at %a@." Nadroid_ir.Instr.pp_mref npe.Nadroid_dynamic.Interp.npe_mref)
+      npes;
+    let t = Nadroid_core.Pipeline.analyze ~file:(name ^ ".mand") src in
+    Fmt.pr "  nAdroid report after all filters: %d warning(s)@."
+      (List.length t.Nadroid_core.Pipeline.after_unsound)
+  in
+  explore "rhb-idiom (onResume restores)" rhb_app;
+  explore "broken-idiom (no restore)" broken_app;
+  Fmt.pr
+    "@.RHB prunes the first app (correctly: onResume always restores the field before UI \
+     events) and the second app keeps its warning — the filter is unsound in general but \
+     right on the trained idiom (Section 6.2.1).@."

@@ -1,0 +1,1 @@
+lib/analysis/escape.ml: Hashtbl Int List Option Pta

@@ -1,0 +1,1 @@
+lib/analysis/escape.mli: Hashtbl Pta

@@ -1,0 +1,1 @@
+lib/analysis/guards.ml: Array Ast Cfg Dataflow Hashtbl Instr List Nadroid_ir Nadroid_lang Option Sema Set String

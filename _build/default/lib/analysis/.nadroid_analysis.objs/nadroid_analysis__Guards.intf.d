@@ -1,0 +1,1 @@
+lib/analysis/guards.mli: Cfg Instr Nadroid_ir

@@ -1,0 +1,1 @@
+lib/analysis/lockset.ml: Cfg Dataflow Escape Hashtbl Instr List Nadroid_ir Option Prog Pta

@@ -1,0 +1,1 @@
+lib/analysis/lockset.mli: Pta

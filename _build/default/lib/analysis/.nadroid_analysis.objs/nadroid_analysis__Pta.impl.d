@@ -1,0 +1,1 @@
+lib/analysis/pta.ml: Api Array Ast Callback Cfg Component Fmt Hashtbl Instr Int List Loc Nadroid_android Nadroid_ir Nadroid_lang Prog Sema Set String

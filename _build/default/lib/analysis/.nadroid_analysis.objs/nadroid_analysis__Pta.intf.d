@@ -1,0 +1,1 @@
+lib/analysis/pta.mli: Fmt Hashtbl Instr Nadroid_android Nadroid_ir Prog Set

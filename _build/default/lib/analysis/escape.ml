@@ -1,0 +1,107 @@
+(* Thread-escape analysis.
+
+   An abstract object escapes when it can be reached by more than one
+   abstract thread (entry-callback root or framework-dispatched callback /
+   spawned thread) or through a static field. Races are only reported on
+   escaping objects — the standard Chord pipeline step (§5).
+
+   Thread entries are the points-to roots plus the targets of API edges
+   (posted callbacks, spawned runnables): exactly the nodes that
+   threadification turns into threads. *)
+
+module IntSet = Pta.IntSet
+
+type t = {
+  escaping : IntSet.t;  (** object ids accessible to >= 2 threads or statics *)
+  accessed_by : (int, IntSet.t) Hashtbl.t;  (** thread entry instance -> objects it may touch *)
+}
+
+(* Instances reachable from [entry] through ordinary calls. *)
+let intra_thread_instances pta entry : IntSet.t =
+  let seen = ref IntSet.empty in
+  let rec go i =
+    if not (IntSet.mem i !seen) then begin
+      seen := IntSet.add i !seen;
+      List.iter go (Pta.ordinary_succs pta i)
+    end
+  in
+  go entry;
+  !seen
+
+(* One pass over the points-to table, grouping objects by instance and
+   building the field-successor map — [run] then works off these maps
+   instead of rescanning the table per thread entry. *)
+let index_pts pta : (int, IntSet.t) Hashtbl.t * (int, IntSet.t) Hashtbl.t * IntSet.t =
+  let by_inst = Hashtbl.create 256 in
+  let by_field = Hashtbl.create 256 in
+  let statics = ref IntSet.empty in
+  let add tbl key s =
+    match Hashtbl.find_opt tbl key with
+    | Some cur -> Hashtbl.replace tbl key (IntSet.union cur s)
+    | None -> Hashtbl.replace tbl key s
+  in
+  Hashtbl.iter
+    (fun node s ->
+      match node with
+      | Pta.Nvar (i, _) | Pta.Nret i -> add by_inst i !s
+      | Pta.Nfld (o, _) -> add by_field o !s
+      | Pta.Nstatic _ -> statics := IntSet.union !statics !s)
+    pta.Pta.pts;
+  (by_inst, by_field, !statics)
+
+let lookup tbl key = Option.value ~default:IntSet.empty (Hashtbl.find_opt tbl key)
+
+(* All objects in scope of a set of instances. *)
+let objects_of_instances by_inst insts : IntSet.t =
+  IntSet.fold (fun i acc -> IntSet.union acc (lookup by_inst i)) insts IntSet.empty
+
+(* Close a set of objects under field reachability. *)
+let field_closure by_field objs : IntSet.t =
+  let seen = ref IntSet.empty in
+  let rec go oid =
+    if not (IntSet.mem oid !seen) then begin
+      seen := IntSet.add oid !seen;
+      IntSet.iter go (lookup by_field oid)
+    end
+  in
+  IntSet.iter go objs;
+  !seen
+
+let thread_entries pta : int list =
+  let roots = List.map (fun r -> r.Pta.r_instance) (Pta.roots pta) in
+  let posted =
+    List.filter_map
+      (fun e -> match e.Pta.ce_kind with Pta.E_api _ -> Some e.Pta.ce_to | Pta.E_ordinary -> None)
+      (Pta.edges pta)
+  in
+  List.sort_uniq Int.compare (roots @ posted)
+
+let run (pta : Pta.t) : t =
+  let by_inst, by_field, statics = index_pts pta in
+  let entries = thread_entries pta in
+  let accessed_by = Hashtbl.create 32 in
+  List.iter
+    (fun entry ->
+      let insts = intra_thread_instances pta entry in
+      let objs = field_closure by_field (objects_of_instances by_inst insts) in
+      Hashtbl.replace accessed_by entry objs)
+    entries;
+  (* statics escape unconditionally *)
+  let static_escape = field_closure by_field statics in
+  (* objects seen by at least two thread entries *)
+  let counts = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ objs ->
+      IntSet.iter
+        (fun oid ->
+          Hashtbl.replace counts oid (1 + Option.value ~default:0 (Hashtbl.find_opt counts oid)))
+        objs)
+    accessed_by;
+  let multi =
+    Hashtbl.fold (fun oid n acc -> if n >= 2 then IntSet.add oid acc else acc) counts IntSet.empty
+  in
+  { escaping = IntSet.union static_escape multi; accessed_by }
+
+let escapes t oid = IntSet.mem oid t.escaping
+
+let n_escaping t = IntSet.cardinal t.escaping

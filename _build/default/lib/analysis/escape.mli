@@ -1,0 +1,27 @@
+(** Thread-escape analysis (paper §5).
+
+    An abstract object escapes when it is reachable by more than one
+    abstract thread (entry-callback root or framework-dispatched
+    callback / spawned thread) or through a static field; races are only
+    reported on escaping objects. *)
+
+module IntSet = Pta.IntSet
+
+type t = {
+  escaping : IntSet.t;  (** object ids accessible to >= 2 threads or statics *)
+  accessed_by : (int, IntSet.t) Hashtbl.t;
+      (** thread-entry instance -> objects it may touch *)
+}
+
+val intra_thread_instances : Pta.t -> int -> IntSet.t
+(** Instances reachable from an entry through ordinary calls. *)
+
+val thread_entries : Pta.t -> int list
+(** Root instances plus targets of API edges: the nodes threadification
+    turns into threads. *)
+
+val run : Pta.t -> t
+
+val escapes : t -> int -> bool
+
+val n_escaping : t -> int

@@ -1,0 +1,301 @@
+(* Per-body guard and allocation analyses feeding nAdroid's filters:
+
+   - {b IG} (§6.1.2): is a [getfield] protected by a preceding
+     [if (f != null)] (must-non-null dataflow over the facts recorded on
+     branch edges), or is the loaded value itself null-checked afterwards?
+   - {b IA} (§6.1.3): is the field definitely assigned a fresh allocation
+     on every path from the callback entry to the use?
+   - {b MA} (§6.2.2): same, but also accepting getter-call results as
+     pseudo-allocations (unsound).
+   - {b UR} (§6.2.3): is the loaded value used only for return / as a call
+     argument / in null comparisons?
+   - {b RHB} support (§6.2.1): does the body allocate the field on some
+     path (may-analysis)? *)
+
+open Nadroid_lang
+open Nadroid_ir
+module SSet = Set.Make (String)
+
+type t = {
+  body : Cfg.body;
+  (* must-non-null field keys before each instruction *)
+  nonnull_before : (int, SSet.t) Hashtbl.t;
+  (* must-allocated (new) field keys before each instruction *)
+  alloc_before : (int, SSet.t) Hashtbl.t;
+  (* must-allocated-or-getter field keys before each instruction *)
+  maybe_alloc_before : (int, SSet.t) Hashtbl.t;
+  (* fields null-checked anywhere in the body (via a local) *)
+  checked_vars : (int, unit) Hashtbl.t;  (* var ids appearing in nonnull facts *)
+  (* fields assigned a fresh allocation on at least one path *)
+  may_alloc : SSet.t;
+  (* var id -> instrs using it, for UR *)
+  uses_of : (int, Instr.t list) Hashtbl.t;
+}
+
+let field_key (fr : Instr.fref) = fr.Sema.fr_class ^ "." ^ fr.Sema.fr_name
+
+(* Vars that definitely hold a fresh allocation: single-def vars defined
+   by New, closed under single-def Moves. Lowering gives each [new]
+   expression its own temp, so this is precise for the common patterns. *)
+let fresh_vars ?(getters_count = false) (body : Cfg.body) : (int, unit) Hashtbl.t =
+  let def_count = Hashtbl.create 32 in
+  let bump v = Hashtbl.replace def_count v.Instr.v_id (1 + Option.value ~default:0 (Hashtbl.find_opt def_count v.Instr.v_id)) in
+  Cfg.iter_instrs (fun ins -> List.iter bump (Instr.defs ins)) body;
+  let single_def v = Hashtbl.find_opt def_count v.Instr.v_id = Some 1 in
+  let fresh = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Cfg.iter_instrs
+      (fun ins ->
+        let mark v =
+          if single_def v && not (Hashtbl.mem fresh v.Instr.v_id) then begin
+            Hashtbl.replace fresh v.Instr.v_id ();
+            changed := true
+          end
+        in
+        match ins.Instr.i with
+        | Instr.New (d, _, _, _) -> mark d
+        | Instr.Call (Some d, _, ms, _) when getters_count -> (
+            match ms.Sema.ms_ret with
+            | Ast.Tclass _ -> mark d
+            | Ast.Tint | Ast.Tbool | Ast.Tstring | Ast.Tvoid -> ())
+        | Instr.Move (d, s) -> if Hashtbl.mem fresh s.Instr.v_id then mark d
+        | Instr.Call _ | Instr.Const _ | Instr.Getfield _ | Instr.Putfield _
+        | Instr.Getstatic _ | Instr.Putstatic _ | Instr.Intrinsic _ | Instr.Unop _
+        | Instr.Binop _ | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+            ())
+      body
+  done;
+  fresh
+
+(* Forward must-analysis over field keys with a gen/kill [gen_put]
+   discipline; conditional edges can contribute facts. *)
+let must_fields (body : Cfg.body) ~(gen_put : Instr.t -> string option)
+    ~(edge_facts : bool) : (int, SSet.t) Hashtbl.t =
+  let module D = Dataflow in
+  (* finite universe of field keys mentioned in the body *)
+  let universe = ref SSet.empty in
+  Cfg.iter_instrs
+    (fun ins ->
+      match ins.Instr.i with
+      | Instr.Getfield (_, _, fr) | Instr.Putfield (_, fr, _, _) | Instr.Getstatic (_, fr)
+      | Instr.Putstatic (fr, _, _) ->
+          universe := SSet.add (field_key fr) !universe
+      | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Call _ | Instr.Intrinsic _
+      | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+          ())
+    body;
+  Array.iter
+    (fun blk ->
+      match blk.Cfg.b_term with
+      | Cfg.If { t_facts; f_facts; _ } ->
+          List.iter
+            (function
+              | Cfg.Nn_field fr -> universe := SSet.add (field_key fr) !universe
+              | Cfg.Nn_var _ -> ())
+            (t_facts @ f_facts)
+      | Cfg.Goto _ | Cfg.Ret _ -> ())
+    body.Cfg.blocks;
+  let top = !universe in
+  let spec =
+    {
+      D.init_entry = SSet.empty;
+      init_other = top;
+      join = SSet.inter;
+      equal = SSet.equal;
+      transfer_instr =
+        (fun ins fact ->
+          match ins.Instr.i with
+          | Instr.Putfield (_, fr, _, Instr.Src_null) | Instr.Putstatic (fr, _, Instr.Src_null)
+            ->
+              SSet.remove (field_key fr) fact
+          | Instr.Putfield _ | Instr.Putstatic _ | Instr.Move _ | Instr.Const _ | Instr.New _
+          | Instr.Getfield _ | Instr.Getstatic _ | Instr.Call _ | Instr.Intrinsic _
+          | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _ | Instr.Monitor_exit _ -> (
+              match gen_put ins with Some key -> SSet.add key fact | None -> fact))
+      (* note: the Src_null branches above intentionally override gen *);
+      transfer_edge =
+        (fun blk edge fact ->
+          if not edge_facts then fact
+          else
+            match (blk.Cfg.b_term, edge) with
+            | Cfg.If { t_facts; _ }, D.Edge_true ->
+                List.fold_left
+                  (fun f -> function
+                    | Cfg.Nn_field fr -> SSet.add (field_key fr) f
+                    | Cfg.Nn_var _ -> f)
+                  fact t_facts
+            | Cfg.If { f_facts; _ }, D.Edge_false ->
+                List.fold_left
+                  (fun f -> function
+                    | Cfg.Nn_field fr -> SSet.add (field_key fr) f
+                    | Cfg.Nn_var _ -> f)
+                  fact f_facts
+            | (Cfg.If _ | Cfg.Goto _ | Cfg.Ret _), (D.Edge_goto | D.Edge_true | D.Edge_false)
+              ->
+                fact);
+    }
+  in
+  let res = D.run body spec in
+  let table = Hashtbl.create 64 in
+  D.iter_facts res (fun ins fact -> Hashtbl.replace table ins.Instr.id fact);
+  table
+
+let analyze (body : Cfg.body) : t =
+  let fresh = fresh_vars body in
+  let fresh_or_getter = fresh_vars ~getters_count:true body in
+  let gen_alloc table (ins : Instr.t) =
+    match ins.Instr.i with
+    | Instr.Putfield (_, fr, s, Instr.Src_var) | Instr.Putstatic (fr, s, Instr.Src_var) ->
+        if Hashtbl.mem table s.Instr.v_id then Some (field_key fr) else None
+    | Instr.Putfield (_, _, _, Instr.Src_null) | Instr.Putstatic (_, _, Instr.Src_null)
+    | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Getfield _ | Instr.Getstatic _
+    | Instr.Call _ | Instr.Intrinsic _ | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _
+    | Instr.Monitor_exit _ ->
+        None
+  in
+  (* non-null: any non-null store counts, plus branch facts *)
+  let gen_nonnull (ins : Instr.t) =
+    match ins.Instr.i with
+    | Instr.Putfield (_, fr, _, Instr.Src_var) | Instr.Putstatic (fr, _, Instr.Src_var) ->
+        (* storing an arbitrary var is not a must-non-null guarantee unless
+           it is a fresh allocation *)
+        gen_alloc fresh ins |> Option.map (fun _ -> field_key fr)
+    | Instr.Putfield (_, _, _, Instr.Src_null) | Instr.Putstatic (_, _, Instr.Src_null)
+    | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Getfield _ | Instr.Getstatic _
+    | Instr.Call _ | Instr.Intrinsic _ | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _
+    | Instr.Monitor_exit _ ->
+        None
+  in
+  let nonnull_before = must_fields body ~gen_put:gen_nonnull ~edge_facts:true in
+  let alloc_before = must_fields body ~gen_put:(gen_alloc fresh) ~edge_facts:false in
+  let maybe_alloc_before =
+    must_fields body ~gen_put:(gen_alloc fresh_or_getter) ~edge_facts:false
+  in
+  (* vars null-checked anywhere in the body, closed backwards through
+     moves: checking a copy of a loaded value guards the load too *)
+  let checked_vars = Hashtbl.create 16 in
+  Array.iter
+    (fun blk ->
+      match blk.Cfg.b_term with
+      | Cfg.If { t_facts; f_facts; _ } ->
+          List.iter
+            (function
+              | Cfg.Nn_var v -> Hashtbl.replace checked_vars v.Instr.v_id ()
+              | Cfg.Nn_field _ -> ())
+            (t_facts @ f_facts)
+      | Cfg.Goto _ | Cfg.Ret _ -> ())
+    body.Cfg.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Cfg.iter_instrs
+      (fun ins ->
+        match ins.Instr.i with
+        | Instr.Move (d, s)
+          when Hashtbl.mem checked_vars d.Instr.v_id
+               && not (Hashtbl.mem checked_vars s.Instr.v_id) ->
+            Hashtbl.replace checked_vars s.Instr.v_id ();
+            changed := true
+        | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Getfield _ | Instr.Putfield _
+        | Instr.Getstatic _ | Instr.Putstatic _ | Instr.Call _ | Instr.Intrinsic _
+        | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+            ())
+      body
+  done;
+  (* may-allocation: a fresh store to the field exists on some path *)
+  let may_alloc = ref SSet.empty in
+  Cfg.iter_instrs
+    (fun ins ->
+      match gen_alloc fresh ins with
+      | Some key -> may_alloc := SSet.add key !may_alloc
+      | None -> ())
+    body;
+  (* def-use for UR *)
+  let uses_of = Hashtbl.create 64 in
+  Cfg.iter_instrs
+    (fun ins ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace uses_of v.Instr.v_id
+            (ins :: Option.value ~default:[] (Hashtbl.find_opt uses_of v.Instr.v_id)))
+        (Instr.uses ins))
+    body;
+  {
+    body;
+    nonnull_before;
+    alloc_before;
+    maybe_alloc_before;
+    checked_vars;
+    may_alloc = !may_alloc;
+    uses_of;
+  }
+
+let lookup table id = Option.value ~default:SSet.empty (Hashtbl.find_opt table id)
+
+(* IG: the use (a getfield) is protected by an if-guard: either the field
+   is must-non-null here, or the loaded local is null-checked in this
+   body. *)
+let is_guarded_use t ~(instr : Instr.t) : bool =
+  match instr.Instr.i with
+  | Instr.Getfield (d, _, fr) | Instr.Getstatic (d, fr) ->
+      SSet.mem (field_key fr) (lookup t.nonnull_before instr.Instr.id)
+      || Hashtbl.mem t.checked_vars d.Instr.v_id
+  | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Putfield _ | Instr.Putstatic _
+  | Instr.Call _ | Instr.Intrinsic _ | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _
+  | Instr.Monitor_exit _ ->
+      false
+
+let is_must_alloc_use t ~(instr : Instr.t) : bool =
+  match instr.Instr.i with
+  | Instr.Getfield (_, _, fr) | Instr.Getstatic (_, fr) ->
+      SSet.mem (field_key fr) (lookup t.alloc_before instr.Instr.id)
+  | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Putfield _ | Instr.Putstatic _
+  | Instr.Call _ | Instr.Intrinsic _ | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _
+  | Instr.Monitor_exit _ ->
+      false
+
+let is_maybe_alloc_use t ~(instr : Instr.t) : bool =
+  match instr.Instr.i with
+  | Instr.Getfield (_, _, fr) | Instr.Getstatic (_, fr) ->
+      SSet.mem (field_key fr) (lookup t.maybe_alloc_before instr.Instr.id)
+  | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Putfield _ | Instr.Putstatic _
+  | Instr.Call _ | Instr.Intrinsic _ | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _
+  | Instr.Monitor_exit _ ->
+      false
+
+(* UR: every use of the loaded value is a return, a call argument (not the
+   receiver), or a comparison. *)
+let is_used_for_return t ~(instr : Instr.t) : bool =
+  match instr.Instr.i with
+  | Instr.Getfield (d, _, _) | Instr.Getstatic (d, _) ->
+      let users = Option.value ~default:[] (Hashtbl.find_opt t.uses_of d.Instr.v_id) in
+      let benign (u : Instr.t) =
+        match u.Instr.i with
+        | Instr.Call (_, recv, _, args) ->
+            (not (Instr.var_equal recv d)) && List.exists (Instr.var_equal d) args
+        | Instr.Binop (_, (Ast.Eq | Ast.Ne), _, _) -> true
+        | Instr.Move _ -> false  (* conservatively: flowing elsewhere *)
+        | Instr.Const _ | Instr.New _ | Instr.Getfield _ | Instr.Putfield _
+        | Instr.Getstatic _ | Instr.Putstatic _ | Instr.Intrinsic _ | Instr.Unop _
+        | Instr.Binop _ | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+            false
+      in
+      let returned =
+        Array.exists
+          (fun blk ->
+            match blk.Cfg.b_term with
+            | Cfg.Ret (Some v) -> Instr.var_equal v d
+            | Cfg.Ret None | Cfg.Goto _ | Cfg.If _ -> false)
+          t.body.Cfg.blocks
+      in
+      (match users with [] -> returned | _ :: _ -> List.for_all benign users)
+      && (returned || users <> [])
+  | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Putfield _ | Instr.Putstatic _
+  | Instr.Call _ | Instr.Intrinsic _ | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _
+  | Instr.Monitor_exit _ ->
+      false
+
+(* RHB support: does this body allocate the field on some path? *)
+let may_allocates t (fr : Instr.fref) : bool = SSet.mem (field_key fr) t.may_alloc

@@ -1,0 +1,28 @@
+(** Per-body guard and allocation analyses feeding nAdroid's filters:
+    If-Guard (must-non-null dataflow over branch facts, plus null-checked
+    locals closed through moves), Intra-Allocation (must-allocated
+    fields), Maybe-Allocation (getter results as pseudo-allocations,
+    unsound), Used-for-Return, and the may-allocation query behind the
+    Resume-Happens-Before filter. *)
+
+open Nadroid_ir
+
+type t
+
+val analyze : Cfg.body -> t
+
+val is_guarded_use : t -> instr:Instr.t -> bool
+(** IG (§6.1.2): the use (a [getfield]) is protected by an if-guard. *)
+
+val is_must_alloc_use : t -> instr:Instr.t -> bool
+(** IA (§6.1.3): the field is freshly allocated on every path to the use. *)
+
+val is_maybe_alloc_use : t -> instr:Instr.t -> bool
+(** MA (§6.2.2): like IA but accepting getter-call results (unsound). *)
+
+val is_used_for_return : t -> instr:Instr.t -> bool
+(** UR (§6.2.3): the loaded value flows only to returns, call arguments
+    or null comparisons. *)
+
+val may_allocates : t -> Instr.fref -> bool
+(** RHB support (§6.2.1): does the body allocate the field on some path? *)

@@ -1,0 +1,20 @@
+(** Must-held lockset analysis.
+
+    nAdroid ignores locks for race {e detection} (locks cannot prevent
+    ordering violations, §5) but the If-Guard / Intra-Allocation filters
+    need them: between true threads a guard only helps under a common
+    lock (§6.1.2). A lock object enters the set only when the monitor
+    variable's points-to set is a singleton (must-alias); entry locksets
+    intersect over all ordinary call sites. *)
+
+module IntSet = Pta.IntSet
+
+type t
+
+val run : Pta.t -> t
+
+val locks_at : t -> inst:int -> instr_id:int -> IntSet.t
+(** Locks definitely held just before an instruction. *)
+
+val common_lock : t -> inst1:int -> instr1:int -> inst2:int -> instr2:int -> bool
+(** Are two program points protected by a common lock object? *)

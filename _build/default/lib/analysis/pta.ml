@@ -1,0 +1,501 @@
+(* k-object-sensitive points-to analysis with Android framework rules.
+
+   This is the Chord substitute (§5): a field-sensitive, flow-insensitive,
+   k-object-sensitive (k configurable, default 2) points-to analysis whose
+   on-the-fly call graph includes the framework's callback dispatch:
+   posting a Runnable creates an edge to its [run], binding a service
+   connection creates edges to [onServiceConnected]/[onServiceDisconnected],
+   and so on (see {!Nadroid_android.Api}).
+
+   Roots are the entry callbacks of discovered components; the framework
+   is modelled as allocating one object per component ("dummy main").
+
+   The solver iterates all reachable method instances to a fixpoint —
+   precision matches the classic worklist formulation; the corpus
+   programs are small enough that simplicity wins. *)
+
+open Nadroid_lang
+open Nadroid_ir
+open Nadroid_android
+
+(* -- abstract objects and contexts -------------------------------------- *)
+
+type ctx = Instr.alloc_site list
+(** method context: receiver's allocation string, length <= k *)
+
+type obj = { o_site : Instr.alloc_site; o_hctx : ctx  (** length <= k-1 *) }
+
+let pp_ctx ppf ctx =
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ",") Instr.pp_alloc_site) ctx
+
+let pp_obj ppf o = Fmt.pf ppf "%a%a" Instr.pp_alloc_site o.o_site pp_ctx o.o_hctx
+
+let obj_class o = o.o_site.Instr.as_class
+
+let rec take n = function [] -> [] | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+type instance = { i_id : int; i_mref : Instr.mref; i_ctx : ctx }
+(** a context-qualified method: the unit of analysis *)
+
+let pp_instance ppf i = Fmt.pf ppf "%a%a" Instr.pp_mref i.i_mref pp_ctx i.i_ctx
+
+type edge_kind = E_ordinary | E_api of Api.kind
+
+type call_edge = {
+  ce_from : int;  (** caller instance id *)
+  ce_instr : Instr.t;  (** the call instruction *)
+  ce_kind : edge_kind;
+  ce_to : int;  (** callee instance id *)
+}
+
+type root = {
+  r_instance : int;
+  r_component : Component.t;
+  r_method : string;
+  r_cb_kind : Callback.kind;
+  r_recv : int;  (** object id of the component instance *)
+}
+
+(* -- pointer nodes ------------------------------------------------------- *)
+
+type node =
+  | Nvar of int * int  (** (instance id, var slot) *)
+  | Nfld of int * string  (** (object id, qualified field name) *)
+  | Nstatic of string
+  | Nret of int  (** return value of an instance *)
+
+module IntSet = Set.Make (Int)
+
+let field_key (fr : Instr.fref) = fr.Sema.fr_class ^ "." ^ fr.Sema.fr_name
+
+(* -- solver state -------------------------------------------------------- *)
+
+type t = {
+  prog : Prog.t;
+  k : int;
+  (* object interning *)
+  obj_ids : (Instr.alloc_site * ctx, int) Hashtbl.t;
+  mutable objs : obj array;
+  mutable n_objs : int;
+  (* instance interning *)
+  inst_ids : (Instr.mref * ctx, int) Hashtbl.t;
+  mutable insts : instance array;
+  mutable n_insts : int;
+  (* points-to sets *)
+  pts : (node, IntSet.t ref) Hashtbl.t;
+  (* discovered call edges, deduped *)
+  edge_seen : (int * int * int, unit) Hashtbl.t;  (* from, instr id, to *)
+  mutable edges : call_edge list;
+  mutable roots : root list;
+  (* synthetic allocation sites, by tag *)
+  synth_sites : (string, Instr.alloc_site) Hashtbl.t;
+  mutable changed : bool;
+  mutable passes : int;
+}
+
+let create ?(k = 2) (prog : Prog.t) : t =
+  {
+    prog;
+    k;
+    obj_ids = Hashtbl.create 256;
+    objs = Array.make 256 { o_site = { Instr.as_method = { Instr.mr_class = ""; mr_name = "" }; as_idx = 0; as_class = ""; as_loc = Loc.dummy }; o_hctx = [] };
+    n_objs = 0;
+    inst_ids = Hashtbl.create 256;
+    insts = Array.make 256 { i_id = 0; i_mref = { Instr.mr_class = ""; mr_name = "" }; i_ctx = [] };
+    n_insts = 0;
+    pts = Hashtbl.create 1024;
+    edge_seen = Hashtbl.create 256;
+    edges = [];
+    roots = [];
+    synth_sites = Hashtbl.create 32;
+    changed = false;
+    passes = 0;
+  }
+
+let obj t id = t.objs.(id)
+
+let instance t id = t.insts.(id)
+
+let intern_obj t site hctx : int =
+  let key = (site, hctx) in
+  match Hashtbl.find_opt t.obj_ids key with
+  | Some id -> id
+  | None ->
+      let id = t.n_objs in
+      t.n_objs <- id + 1;
+      if id >= Array.length t.objs then begin
+        let bigger = Array.make (2 * Array.length t.objs) t.objs.(0) in
+        Array.blit t.objs 0 bigger 0 (Array.length t.objs);
+        t.objs <- bigger
+      end;
+      t.objs.(id) <- { o_site = site; o_hctx = hctx };
+      Hashtbl.add t.obj_ids key id;
+      t.changed <- true;
+      id
+
+let intern_instance t mref ctx : int =
+  let key = (mref, ctx) in
+  match Hashtbl.find_opt t.inst_ids key with
+  | Some id -> id
+  | None ->
+      let id = t.n_insts in
+      t.n_insts <- id + 1;
+      if id >= Array.length t.insts then begin
+        let bigger = Array.make (2 * Array.length t.insts) t.insts.(0) in
+        Array.blit t.insts 0 bigger 0 (Array.length t.insts);
+        t.insts <- bigger
+      end;
+      t.insts.(id) <- { i_id = id; i_mref = mref; i_ctx = ctx };
+      Hashtbl.add t.inst_ids key id;
+      t.changed <- true;
+      id
+
+let synth_site t ~tag ~cls : Instr.alloc_site =
+  match Hashtbl.find_opt t.synth_sites tag with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          Instr.as_method = { Instr.mr_class = "@framework"; mr_name = tag };
+          as_idx = 0;
+          as_class = cls;
+          as_loc = Loc.dummy;
+        }
+      in
+      Hashtbl.add t.synth_sites tag s;
+      s
+
+let is_synthetic_site (s : Instr.alloc_site) = String.equal s.Instr.as_method.Instr.mr_class "@framework"
+
+(* -- points-to set operations ------------------------------------------- *)
+
+let get_pts t node =
+  match Hashtbl.find_opt t.pts node with
+  | Some s -> !s
+  | None -> IntSet.empty
+
+let add_pts t node objs =
+  if not (IntSet.is_empty objs) then
+    match Hashtbl.find_opt t.pts node with
+    | Some s ->
+        let u = IntSet.union !s objs in
+        if not (IntSet.equal u !s) then begin
+          s := u;
+          t.changed <- true
+        end
+    | None ->
+        Hashtbl.add t.pts node (ref objs);
+        t.changed <- true
+
+let add_obj t node oid = add_pts t node (IntSet.singleton oid)
+
+(* -- contexts ------------------------------------------------------------ *)
+
+(* Method context for an invocation whose receiver is [o]. *)
+let ctx_of_recv t (o : obj) : ctx = take t.k (o.o_site :: o.o_hctx)
+
+(* Heap context for an allocation inside method context [ctx]. *)
+let heap_ctx t (ctx : ctx) : ctx = take (max 0 (t.k - 1)) ctx
+
+(* -- call handling -------------------------------------------------------- *)
+
+let record_edge t ~from ~(instr : Instr.t) ~kind ~target =
+  let key = (from, instr.Instr.id, target) in
+  if not (Hashtbl.mem t.edge_seen key) then begin
+    Hashtbl.add t.edge_seen key ();
+    t.edges <- { ce_from = from; ce_instr = instr; ce_kind = kind; ce_to = target } :: t.edges;
+    t.changed <- true
+  end
+
+(* Bind a call: receiver object, argument nodes, optional return dst. *)
+let bind_call t ~caller ~(instr : Instr.t) ~kind ~recv_obj ~(target : Sema.rmeth)
+    ~(arg_pts : IntSet.t list) ~(dst : Instr.var option) =
+  let mref = { Instr.mr_class = target.Sema.rm_class; mr_name = target.Sema.rm_name } in
+  let ctx = ctx_of_recv t (obj t recv_obj) in
+  let callee = intern_instance t mref ctx in
+  record_edge t ~from:caller ~instr ~kind ~target:callee;
+  match Prog.body t.prog mref with
+  | None -> ()
+  | Some body ->
+      (* params.(0) is [this] *)
+      let params = body.Cfg.params in
+      (match params with
+      | this :: rest ->
+          add_obj t (Nvar (callee, this.Instr.v_id)) recv_obj;
+          List.iteri
+            (fun i p ->
+              match List.nth_opt arg_pts i with
+              | Some s -> add_pts t (Nvar (callee, p.Instr.v_id)) s
+              | None -> ())
+            rest
+      | [] -> ());
+      (match dst with
+      | Some d -> add_pts t (Nvar (caller, d.Instr.v_id)) (get_pts t (Nret callee))
+      | None -> ())
+
+(* Dispatch [meth] on every object of [objs]; builtin (empty) bodies are
+   skipped unless they are one of the real-bodied helpers. *)
+let dispatch_objs t ~caller ~instr ~kind ~objs ~meth ~arg_pts ~dst =
+  IntSet.iter
+    (fun oid ->
+      let cls = obj_class (obj t oid) in
+      match Sema.dispatch t.prog.Prog.sema cls meth with
+      | None -> ()
+      | Some m ->
+          let decl = Sema.get_class t.prog.Prog.sema m.Sema.rm_class in
+          let real_builtin_body =
+            match (m.Sema.rm_class, m.Sema.rm_name) with
+            | "Thread", "init" | "Message", "init" -> true
+            | _, _ -> false
+          in
+          if (not decl.Sema.rc_builtin) || real_builtin_body then
+            bind_call t ~caller ~instr ~kind ~recv_obj:oid ~target:m ~arg_pts ~dst)
+    objs
+
+(* A synthetic framework-created argument object (Intent delivered to
+   onReceive, View passed to onClick, ...). One per (callsite, class). *)
+let synth_arg t ~caller ~(instr : Instr.t) ~cls : IntSet.t =
+  let i = instance t caller in
+  let tag =
+    Fmt.str "@arg:%a#%d:%s" Instr.pp_mref i.i_mref instr.Instr.id cls
+  in
+  IntSet.singleton (intern_obj t (synth_site t ~tag ~cls) [])
+
+(* -- instruction transfer -------------------------------------------------- *)
+
+let transfer_call t ~caller (instr : Instr.t) dst recv ms args =
+  let var v = Nvar (caller, v.Instr.v_id) in
+  let recv_pts = get_pts t (var recv) in
+  let arg_pts = List.map (fun a -> get_pts t (var a)) args in
+  let kind = Api.classify ms in
+  match kind with
+  | Api.Other ->
+      dispatch_objs t ~caller ~instr ~kind:E_ordinary ~objs:recv_pts ~meth:ms.Sema.ms_name
+        ~arg_pts ~dst;
+      (* opaque framework factory methods return synthetic objects *)
+      if Api.opaque_builtin t.prog.Prog.sema ms then begin
+        match (dst, ms.Sema.ms_ret) with
+        | Some d, Ast.Tclass cls ->
+            add_pts t (var d) (synth_arg t ~caller ~instr ~cls)
+        | (Some _ | None), (Ast.Tint | Ast.Tbool | Ast.Tstring | Ast.Tvoid | Ast.Tclass _) -> ()
+      end
+  | Api.Spawn Api.Spawn_thread ->
+      (* run() of the target runnable stored in the Thread object *)
+      IntSet.iter
+        (fun tid ->
+          let targets = get_pts t (Nfld (tid, "Thread.target")) in
+          dispatch_objs t ~caller ~instr ~kind:(E_api kind) ~objs:targets ~meth:"run"
+            ~arg_pts:[] ~dst:None)
+        recv_pts
+  | Api.Spawn Api.Spawn_executor | Api.Post Api.Post_runnable ->
+      let runnables = match arg_pts with r :: _ -> r | [] -> IntSet.empty in
+      dispatch_objs t ~caller ~instr ~kind:(E_api kind) ~objs:runnables ~meth:"run" ~arg_pts:[]
+        ~dst:None
+  | Api.Spawn Api.Spawn_async_task ->
+      List.iter
+        (fun cb ->
+          let cb_args =
+            match cb with
+            | "onProgressUpdate" -> [ IntSet.empty ]  (* int arg *)
+            | _ -> []
+          in
+          dispatch_objs t ~caller ~instr ~kind:(E_api kind) ~objs:recv_pts ~meth:cb
+            ~arg_pts:cb_args ~dst:None)
+        (Api.triggered_callbacks kind)
+  | Api.Post Api.Post_message ->
+      let msg_pts =
+        match (ms.Sema.ms_name, arg_pts) with
+        | "sendMessage", m :: _ -> m
+        | _, _ -> synth_arg t ~caller ~instr ~cls:"Message"
+      in
+      dispatch_objs t ~caller ~instr ~kind:(E_api kind) ~objs:recv_pts ~meth:"handleMessage"
+        ~arg_pts:[ msg_pts ] ~dst:None
+  | Api.Register reg ->
+      let listeners = match arg_pts with l :: _ -> l | [] -> IntSet.empty in
+      List.iter
+        (fun cb ->
+          let cb_args =
+            match (reg, cb) with
+            | Api.Reg_service, "onServiceConnected" ->
+                [ synth_arg t ~caller ~instr ~cls:"Binder" ]
+            | Api.Reg_service, _ -> []
+            | Api.Reg_receiver, _ -> [ synth_arg t ~caller ~instr ~cls:"Intent" ]
+            | (Api.Reg_click | Api.Reg_long_click), _ ->
+                [ synth_arg t ~caller ~instr ~cls:"View" ]
+            | Api.Reg_location, _ -> [ synth_arg t ~caller ~instr ~cls:"Location" ]
+            | Api.Reg_sensor, _ -> [ IntSet.empty ]
+          in
+          dispatch_objs t ~caller ~instr ~kind:(E_api kind) ~objs:listeners ~meth:cb
+            ~arg_pts:cb_args ~dst:None)
+        (Api.triggered_callbacks kind)
+  | Api.Cancel _ -> ()
+
+let transfer_instr t ~caller (ins : Instr.t) =
+  let var v = Nvar (caller, v.Instr.v_id) in
+  match ins.Instr.i with
+  | Instr.Move (d, s) -> add_pts t (var d) (get_pts t (var s))
+  | Instr.Const _ -> ()
+  | Instr.New (d, site, init, args) -> (
+      let i = instance t caller in
+      let oid = intern_obj t site (heap_ctx t i.i_ctx) in
+      add_obj t (var d) oid;
+      match init with
+      | None -> ()
+      | Some ms ->
+          let arg_pts = List.map (fun a -> get_pts t (var a)) args in
+          dispatch_objs t ~caller ~instr:ins ~kind:E_ordinary ~objs:(IntSet.singleton oid)
+            ~meth:ms.Sema.ms_name ~arg_pts ~dst:None)
+  | Instr.Getfield (d, o, fr) ->
+      IntSet.iter
+        (fun oid -> add_pts t (var d) (get_pts t (Nfld (oid, field_key fr))))
+        (get_pts t (var o))
+  | Instr.Putfield (o, fr, s, Instr.Src_var) ->
+      let src = get_pts t (var s) in
+      IntSet.iter (fun oid -> add_pts t (Nfld (oid, field_key fr)) src) (get_pts t (var o))
+  | Instr.Putfield (_, _, _, Instr.Src_null) -> ()
+  | Instr.Getstatic (d, fr) -> add_pts t (var d) (get_pts t (Nstatic (field_key fr)))
+  | Instr.Putstatic (fr, s, Instr.Src_var) ->
+      add_pts t (Nstatic (field_key fr)) (get_pts t (var s))
+  | Instr.Putstatic (_, _, Instr.Src_null) -> ()
+  | Instr.Call (dst, recv, ms, args) -> transfer_call t ~caller ins dst recv ms args
+  | Instr.Intrinsic _ -> ()
+  | Instr.Unop _ | Instr.Binop _ -> ()
+  | Instr.Monitor_enter _ | Instr.Monitor_exit _ -> ()
+
+(* Return statements feed the instance's return node. *)
+let transfer_returns t ~caller (body : Cfg.body) =
+  Array.iter
+    (fun blk ->
+      match blk.Cfg.b_term with
+      | Cfg.Ret (Some v) -> add_pts t (Nret caller) (get_pts t (Nvar (caller, v.Instr.v_id)))
+      | Cfg.Ret None | Cfg.Goto _ | Cfg.If _ -> ())
+    body.Cfg.blocks
+
+(* -- roots ---------------------------------------------------------------- *)
+
+let seed_roots t =
+  let sema = t.prog.Prog.sema in
+  let components = Component.discover sema in
+  List.iter
+    (fun (comp : Component.t) ->
+      let site = synth_site t ~tag:("@component:" ^ comp.Component.cls) ~cls:comp.Component.cls in
+      let recv = intern_obj t site [] in
+      List.iter
+        (fun (meth, cb_kind) ->
+          match Sema.dispatch sema comp.Component.cls meth with
+          | None -> ()
+          | Some m ->
+              let mref = { Instr.mr_class = m.Sema.rm_class; mr_name = m.Sema.rm_name } in
+              let ctx = ctx_of_recv t (obj t recv) in
+              let inst = intern_instance t mref ctx in
+              (match Prog.body t.prog mref with
+              | None -> ()
+              | Some body -> (
+                  match body.Cfg.params with
+                  | this :: rest ->
+                      add_obj t (Nvar (inst, this.Instr.v_id)) recv;
+                      (* framework-supplied arguments *)
+                      List.iter
+                        (fun (p : Instr.var) ->
+                          let pty =
+                            List.find_map
+                              (fun (ty, name) ->
+                                if String.equal name p.Instr.v_name then Some ty else None)
+                              (match Sema.dispatch sema comp.Component.cls meth with
+                              | Some m -> m.Sema.rm_params
+                              | None -> [])
+                          in
+                          match pty with
+                          | Some (Ast.Tclass cls) ->
+                              let tag =
+                                Fmt.str "@entryarg:%s.%s.%s" comp.Component.cls meth
+                                  p.Instr.v_name
+                              in
+                              add_obj t
+                                (Nvar (inst, p.Instr.v_id))
+                                (intern_obj t (synth_site t ~tag ~cls) [])
+                          | Some (Ast.Tint | Ast.Tbool | Ast.Tstring | Ast.Tvoid) | None -> ())
+                        rest
+                  | [] -> ()));
+              t.roots <-
+                {
+                  r_instance = inst;
+                  r_component = comp;
+                  r_method = meth;
+                  r_cb_kind = cb_kind;
+                  r_recv = recv;
+                }
+                :: t.roots)
+        comp.Component.entry_callbacks)
+    components;
+  t.roots <- List.rev t.roots
+
+(* -- fixpoint -------------------------------------------------------------- *)
+
+let solve t =
+  seed_roots t;
+  t.changed <- true;
+  while t.changed do
+    t.changed <- false;
+    t.passes <- t.passes + 1;
+    (* iterate over a snapshot: new instances found this pass are
+       processed in the next one *)
+    let n = t.n_insts in
+    for i = 0 to n - 1 do
+      let inst = instance t i in
+      match Prog.body t.prog inst.i_mref with
+      | None -> ()
+      | Some body ->
+          Cfg.iter_instrs (fun ins -> transfer_instr t ~caller:i ins) body;
+          transfer_returns t ~caller:i body
+    done
+  done
+
+(* -- result API ------------------------------------------------------------ *)
+
+let run ?k prog =
+  let t = create ?k prog in
+  solve t;
+  t
+
+let pts_var t ~inst ~(v : Instr.var) : IntSet.t = get_pts t (Nvar (inst, v.Instr.v_id))
+
+let pts_field t ~obj_id ~(fr : Instr.fref) : IntSet.t = get_pts t (Nfld (obj_id, field_key fr))
+
+let pts_static t (fr : Instr.fref) : IntSet.t = get_pts t (Nstatic (field_key fr))
+
+let instances t = Array.to_list (Array.sub t.insts 0 t.n_insts)
+
+let n_instances t = t.n_insts
+
+let n_objects t = t.n_objs
+
+let edges t = t.edges
+
+let roots t = t.roots
+
+let passes t = t.passes
+
+(* Ordinary-call successors of an instance (intra-thread closure). *)
+let ordinary_succs t inst =
+  List.filter_map
+    (fun e -> if e.ce_from = inst && e.ce_kind = E_ordinary then Some e.ce_to else None)
+    t.edges
+
+(* All objects stored anywhere in a field of [oid] — the heap-reachability
+   step used by the escape analysis. *)
+let field_succs t oid =
+  Hashtbl.fold
+    (fun node s acc ->
+      match node with
+      | Nfld (o, _) when o = oid -> IntSet.union !s acc
+      | Nfld _ | Nvar _ | Nstatic _ | Nret _ -> acc)
+    t.pts IntSet.empty
+
+let static_objs t =
+  Hashtbl.fold
+    (fun node s acc ->
+      match node with
+      | Nstatic _ -> IntSet.union !s acc
+      | Nfld _ | Nvar _ | Nret _ -> acc)
+    t.pts IntSet.empty

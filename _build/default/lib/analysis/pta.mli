@@ -1,0 +1,112 @@
+(** k-object-sensitive points-to analysis with Android framework rules —
+    the Chord substitute (paper §5).
+
+    Field-sensitive, flow-insensitive, k-object-sensitive (k
+    configurable; the paper's default is 2) points-to analysis whose
+    on-the-fly call graph includes the framework's callback dispatch:
+    posting a Runnable adds an edge to its [run], binding a service
+    connection adds edges to the connection callbacks, starting a Thread
+    dispatches its stored target, and so on. Roots are the entry
+    callbacks of discovered components, whose instances the modelled
+    framework ("dummy main") allocates. *)
+
+open Nadroid_ir
+
+module IntSet : Set.S with type elt = int
+
+type ctx = Instr.alloc_site list
+(** Method context: the receiver's allocation string, length <= k. *)
+
+type obj = { o_site : Instr.alloc_site; o_hctx : ctx  (** length <= k-1 *) }
+
+val pp_ctx : ctx Fmt.t
+
+val pp_obj : obj Fmt.t
+
+val obj_class : obj -> string
+
+type instance = { i_id : int; i_mref : Instr.mref; i_ctx : ctx }
+(** A context-qualified method: the unit of analysis. *)
+
+val pp_instance : instance Fmt.t
+
+type edge_kind = E_ordinary | E_api of Nadroid_android.Api.kind
+
+type call_edge = {
+  ce_from : int;  (** caller instance id *)
+  ce_instr : Instr.t;
+  ce_kind : edge_kind;
+  ce_to : int;  (** callee instance id *)
+}
+
+type root = {
+  r_instance : int;
+  r_component : Nadroid_android.Component.t;
+  r_method : string;
+  r_cb_kind : Nadroid_android.Callback.kind;
+  r_recv : int;  (** object id of the component instance *)
+}
+
+(** Pointer nodes; exposed so that client analyses (escape) can traverse
+    the final points-to table. *)
+type node =
+  | Nvar of int * int  (** (instance id, var slot) *)
+  | Nfld of int * string  (** (object id, qualified field name) *)
+  | Nstatic of string
+  | Nret of int
+
+type t = {
+  prog : Prog.t;
+  k : int;
+  obj_ids : (Instr.alloc_site * ctx, int) Hashtbl.t;
+  mutable objs : obj array;
+  mutable n_objs : int;
+  inst_ids : (Instr.mref * ctx, int) Hashtbl.t;
+  mutable insts : instance array;
+  mutable n_insts : int;
+  pts : (node, IntSet.t ref) Hashtbl.t;  (** the final points-to table *)
+  edge_seen : (int * int * int, unit) Hashtbl.t;
+  mutable edges : call_edge list;
+  mutable roots : root list;
+  synth_sites : (string, Instr.alloc_site) Hashtbl.t;
+  mutable changed : bool;
+  mutable passes : int;
+}
+(** Solver state, exposed read-only by convention after {!run}. *)
+
+val run : ?k:int -> Prog.t -> t
+(** Solve to fixpoint. [k] defaults to 2. *)
+
+val obj : t -> int -> obj
+
+val instance : t -> int -> instance
+
+val is_synthetic_site : Instr.alloc_site -> bool
+
+val field_key : Instr.fref -> string
+
+val pts_var : t -> inst:int -> v:Instr.var -> IntSet.t
+
+val pts_field : t -> obj_id:int -> fr:Instr.fref -> IntSet.t
+
+val pts_static : t -> Instr.fref -> IntSet.t
+
+val instances : t -> instance list
+
+val n_instances : t -> int
+
+val n_objects : t -> int
+
+val edges : t -> call_edge list
+
+val roots : t -> root list
+
+val passes : t -> int
+
+val ordinary_succs : t -> int -> int list
+(** Ordinary-call successors of an instance (intra-thread closure). *)
+
+val field_succs : t -> int -> IntSet.t
+(** Objects stored in any field of the given object. *)
+
+val static_objs : t -> IntSet.t

@@ -1,0 +1,1 @@
+lib/android/api.ml: Fmt Nadroid_lang Sema

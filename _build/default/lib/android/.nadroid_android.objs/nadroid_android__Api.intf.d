@@ -1,0 +1,1 @@
+lib/android/api.mli: Fmt Nadroid_lang

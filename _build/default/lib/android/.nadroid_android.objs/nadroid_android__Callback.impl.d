@@ -1,0 +1,1 @@
+lib/android/callback.ml: Fmt List Nadroid_lang Sema String

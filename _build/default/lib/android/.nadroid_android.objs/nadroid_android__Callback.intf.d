@@ -1,0 +1,1 @@
+lib/android/callback.mli: Fmt Nadroid_lang

@@ -1,0 +1,1 @@
+lib/android/component.ml: Callback Fmt List Nadroid_lang Sema

@@ -1,0 +1,1 @@
+lib/android/component.mli: Callback Fmt Nadroid_lang

@@ -1,0 +1,1 @@
+lib/android/lifecycle.ml: Fmt List String

@@ -1,0 +1,130 @@
+(* Classification of framework API calls.
+
+   The analyses treat calls whose statically resolved declaring class is a
+   framework builtin specially: spawns create native threads, posts and
+   registrations create posted callbacks (children of the caller, §4.2),
+   and cancellation APIs feed the Cancel-Happens-Before filter (§6.2.1). *)
+
+open Nadroid_lang
+
+type spawn =
+  | Spawn_thread  (** [Thread.start()]: run() of the thread's target *)
+  | Spawn_executor  (** [Executor.execute(r)]: run() of [r] on a pool thread *)
+  | Spawn_async_task  (** [AsyncTask.execute()]: doInBackground + looper callbacks *)
+
+type post =
+  | Post_runnable  (** Handler.post/postDelayed, View.post, Activity.runOnUiThread *)
+  | Post_message  (** Handler.sendMessage / sendEmptyMessage -> handleMessage *)
+
+type register =
+  | Reg_service  (** bindService: onServiceConnected / onServiceDisconnected *)
+  | Reg_receiver  (** registerReceiver: onReceive *)
+  | Reg_click  (** setOnClickListener: onClick *)
+  | Reg_long_click
+  | Reg_location  (** requestLocationUpdates: onLocationChanged *)
+  | Reg_sensor
+
+type cancel =
+  | Cancel_finish  (** Activity.finish: no further UI/lifecycle callbacks *)
+  | Cancel_unbind  (** unbindService *)
+  | Cancel_unregister_receiver
+  | Cancel_remove_callbacks  (** Handler.removeCallbacksAndMessages *)
+  | Cancel_async_task
+  | Cancel_remove_location
+  | Cancel_unregister_sensor
+
+type kind =
+  | Spawn of spawn
+  | Post of post
+  | Register of register
+  | Cancel of cancel
+  | Other  (** ordinary (or framework-internal) call *)
+
+(* Which argument carries the callback object. [`Receiver]: the receiver
+   itself (AsyncTask.execute, Thread.start). [`Arg n]: the n-th argument. *)
+type callback_carrier = [ `Receiver | `Arg of int ]
+
+let pp ppf = function
+  | Spawn Spawn_thread -> Fmt.string ppf "spawn:thread"
+  | Spawn Spawn_executor -> Fmt.string ppf "spawn:executor"
+  | Spawn Spawn_async_task -> Fmt.string ppf "spawn:asynctask"
+  | Post Post_runnable -> Fmt.string ppf "post:runnable"
+  | Post Post_message -> Fmt.string ppf "post:message"
+  | Register Reg_service -> Fmt.string ppf "register:service"
+  | Register Reg_receiver -> Fmt.string ppf "register:receiver"
+  | Register Reg_click -> Fmt.string ppf "register:click"
+  | Register Reg_long_click -> Fmt.string ppf "register:longclick"
+  | Register Reg_location -> Fmt.string ppf "register:location"
+  | Register Reg_sensor -> Fmt.string ppf "register:sensor"
+  | Cancel Cancel_finish -> Fmt.string ppf "cancel:finish"
+  | Cancel Cancel_unbind -> Fmt.string ppf "cancel:unbind"
+  | Cancel Cancel_unregister_receiver -> Fmt.string ppf "cancel:unregister-receiver"
+  | Cancel Cancel_remove_callbacks -> Fmt.string ppf "cancel:remove-callbacks"
+  | Cancel Cancel_async_task -> Fmt.string ppf "cancel:asynctask"
+  | Cancel Cancel_remove_location -> Fmt.string ppf "cancel:remove-location"
+  | Cancel Cancel_unregister_sensor -> Fmt.string ppf "cancel:unregister-sensor"
+  | Other -> Fmt.string ppf "other"
+
+(* Classify a statically resolved call. The signature's [ms_class] is the
+   declaring class, so user overrides of ordinary methods don't collide
+   with framework names. *)
+let classify (ms : Sema.method_sig) : kind =
+  match (ms.Sema.ms_class, ms.Sema.ms_name) with
+  | "Thread", "start" -> Spawn Spawn_thread
+  | "Executor", "execute" -> Spawn Spawn_executor
+  | "AsyncTask", "execute" -> Spawn Spawn_async_task
+  | "Handler", ("post" | "postDelayed") -> Post Post_runnable
+  | "View", "post" -> Post Post_runnable
+  | "Activity", "runOnUiThread" -> Post Post_runnable
+  | "Handler", ("sendMessage" | "sendEmptyMessage") -> Post Post_message
+  | "Context", "bindService" -> Register Reg_service
+  | "Context", "registerReceiver" -> Register Reg_receiver
+  | "View", "setOnClickListener" -> Register Reg_click
+  | "View", "setOnLongClickListener" -> Register Reg_long_click
+  | "LocationManager", "requestLocationUpdates" -> Register Reg_location
+  | "SensorManager", "registerListener" -> Register Reg_sensor
+  | "Activity", "finish" -> Cancel Cancel_finish
+  | "Context", "unbindService" -> Cancel Cancel_unbind
+  | "Context", "unregisterReceiver" -> Cancel Cancel_unregister_receiver
+  | "Handler", "removeCallbacksAndMessages" -> Cancel Cancel_remove_callbacks
+  | "AsyncTask", "cancel" -> Cancel Cancel_async_task
+  | "LocationManager", "removeUpdates" -> Cancel Cancel_remove_location
+  | "SensorManager", "unregisterListener" -> Cancel Cancel_unregister_sensor
+  | _, _ -> Other
+
+(* Where the callback object lives for a spawn/post/register call. *)
+let carrier : kind -> callback_carrier option = function
+  | Spawn Spawn_thread | Spawn Spawn_async_task -> Some `Receiver
+  | Spawn Spawn_executor -> Some (`Arg 0)
+  | Post Post_runnable -> Some (`Arg 0)
+  | Post Post_message -> None  (* the *receiving handler* is the callback object *)
+  | Register (Reg_service | Reg_receiver | Reg_click | Reg_long_click | Reg_location | Reg_sensor)
+    ->
+      Some (`Arg 0)
+  | Cancel _ | Other -> None
+
+(* Callback method names triggered on the carrier object. *)
+let triggered_callbacks : kind -> string list = function
+  | Spawn Spawn_thread | Spawn Spawn_executor -> [ "run" ]
+  | Spawn Spawn_async_task ->
+      [ "onPreExecute"; "doInBackground"; "onProgressUpdate"; "onPostExecute" ]
+  | Post Post_runnable -> [ "run" ]
+  | Post Post_message -> [ "handleMessage" ]
+  | Register Reg_service -> [ "onServiceConnected"; "onServiceDisconnected" ]
+  | Register Reg_receiver -> [ "onReceive" ]
+  | Register Reg_click -> [ "onClick" ]
+  | Register Reg_long_click -> [ "onLongClick" ]
+  | Register Reg_location -> [ "onLocationChanged" ]
+  | Register Reg_sensor -> [ "onSensorChanged" ]
+  | Cancel _ | Other -> []
+
+(* Is this call a framework intrinsic whose (empty) builtin body should
+   not be analysed as an ordinary call target? True for every builtin
+   method except the handful with real MiniAndroid bodies. *)
+let opaque_builtin (sema : Sema.t) (ms : Sema.method_sig) : bool =
+  let cls = Sema.get_class sema ms.Sema.ms_class in
+  if not cls.Sema.rc_builtin then false
+  else
+    match (ms.Sema.ms_class, ms.Sema.ms_name) with
+    | "Thread", "init" | "Message", "init" -> false
+    | _, _ -> true

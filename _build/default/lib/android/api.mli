@@ -1,0 +1,50 @@
+(** Classification of framework API calls.
+
+    Calls whose statically resolved declaring class is a framework
+    builtin are treated specially by the analyses: spawns create native
+    threads, posts and registrations create posted callbacks (children
+    of the caller, paper §4.2), and cancellation APIs feed the
+    Cancel-Happens-Before filter (§6.2.1). *)
+
+type spawn = Spawn_thread | Spawn_executor | Spawn_async_task
+
+type post =
+  | Post_runnable  (** Handler.post/postDelayed, View.post, runOnUiThread *)
+  | Post_message  (** Handler.sendMessage / sendEmptyMessage *)
+
+type register =
+  | Reg_service  (** bindService *)
+  | Reg_receiver  (** registerReceiver *)
+  | Reg_click
+  | Reg_long_click
+  | Reg_location
+  | Reg_sensor
+
+type cancel =
+  | Cancel_finish
+  | Cancel_unbind
+  | Cancel_unregister_receiver
+  | Cancel_remove_callbacks
+  | Cancel_async_task
+  | Cancel_remove_location
+  | Cancel_unregister_sensor
+
+type kind = Spawn of spawn | Post of post | Register of register | Cancel of cancel | Other
+
+type callback_carrier = [ `Receiver | `Arg of int ]
+(** Where the callback object lives for a spawn/post/register call. *)
+
+val pp : kind Fmt.t
+
+val classify : Nadroid_lang.Sema.method_sig -> kind
+(** Keyed on the {e declaring} class, so user methods that merely share a
+    framework method's name classify as {!Other}. *)
+
+val carrier : kind -> callback_carrier option
+
+val triggered_callbacks : kind -> string list
+(** Callback method names invoked on the carrier object. *)
+
+val opaque_builtin : Nadroid_lang.Sema.t -> Nadroid_lang.Sema.method_sig -> bool
+(** Is this a framework intrinsic whose empty builtin body must not be
+    analysed as an ordinary call target? *)

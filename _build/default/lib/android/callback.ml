@@ -1,0 +1,103 @@
+(* Classification of Android callbacks.
+
+   Mirrors the paper's taxonomy (§4, §7): Entry Callbacks (EC) are
+   invoked by the Android runtime (lifecycle, UI, system events); Posted
+   Callbacks (PC) are triggered from within the application (Handler,
+   Service connection, BroadcastReceiver registration, AsyncTask). *)
+
+open Nadroid_lang
+
+type kind =
+  | Lifecycle of string  (** Activity lifecycle: onCreate, onResume, ... *)
+  | Service_lifecycle of string  (** Service: onCreate, onStartCommand, onBind, onDestroy *)
+  | Ui of string  (** onClick, onLongClick, menu callbacks, ... *)
+  | System of string  (** onLocationChanged, onSensorChanged, onReceive (manifest) *)
+  | Service_conn of [ `Connected | `Disconnected ]
+  | Receive  (** dynamically registered BroadcastReceiver.onReceive *)
+  | Handle_message
+  | Runnable_run
+  | Async of [ `Pre | `Background | `Progress | `Post ]
+
+let pp_kind ppf = function
+  | Lifecycle m -> Fmt.pf ppf "lifecycle:%s" m
+  | Service_lifecycle m -> Fmt.pf ppf "service:%s" m
+  | Ui m -> Fmt.pf ppf "ui:%s" m
+  | System m -> Fmt.pf ppf "system:%s" m
+  | Service_conn `Connected -> Fmt.string ppf "onServiceConnected"
+  | Service_conn `Disconnected -> Fmt.string ppf "onServiceDisconnected"
+  | Receive -> Fmt.string ppf "onReceive"
+  | Handle_message -> Fmt.string ppf "handleMessage"
+  | Runnable_run -> Fmt.string ppf "run"
+  | Async `Pre -> Fmt.string ppf "onPreExecute"
+  | Async `Background -> Fmt.string ppf "doInBackground"
+  | Async `Progress -> Fmt.string ppf "onProgressUpdate"
+  | Async `Post -> Fmt.string ppf "onPostExecute"
+
+(* Activity lifecycle callback names, in canonical order. *)
+let activity_lifecycle =
+  [ "onCreate"; "onStart"; "onResume"; "onPause"; "onStop"; "onRestart"; "onDestroy" ]
+
+(* Non-lifecycle entry callbacks declared on Activity. *)
+let activity_ui =
+  [
+    "onActivityResult";
+    "onCreateContextMenu";
+    "onCreateOptionsMenu";
+    "onRetainNonConfigurationInstance";
+    "onBackPressed";
+    "onConfigurationChanged";
+    "onSaveInstanceState";
+    "onNewIntent";
+  ]
+
+let service_lifecycle = [ "onCreate"; "onStartCommand"; "onBind"; "onUnbind"; "onDestroy" ]
+
+(* Classify an overridden method [meth] given the builtin class that
+   declares it ([decl_class]: the closest framework ancestor declaring a
+   method of that name). Returns [None] for ordinary methods. *)
+let classify ~decl_class ~meth : kind option =
+  match (decl_class, meth) with
+  | "Activity", m when List.mem m activity_lifecycle -> Some (Lifecycle m)
+  | "Activity", m when List.mem m activity_ui -> Some (Ui m)
+  | "Service", m when List.mem m service_lifecycle -> Some (Service_lifecycle m)
+  | "OnClickListener", "onClick" -> Some (Ui "onClick")
+  | "OnLongClickListener", "onLongClick" -> Some (Ui "onLongClick")
+  | "LocationListener", "onLocationChanged" -> Some (System "onLocationChanged")
+  | "SensorListener", "onSensorChanged" -> Some (System "onSensorChanged")
+  | "BroadcastReceiver", "onReceive" -> Some Receive
+  | "ServiceConnection", "onServiceConnected" -> Some (Service_conn `Connected)
+  | "ServiceConnection", "onServiceDisconnected" -> Some (Service_conn `Disconnected)
+  | "Handler", "handleMessage" -> Some Handle_message
+  | "Runnable", "run" -> Some Runnable_run
+  | "AsyncTask", "onPreExecute" -> Some (Async `Pre)
+  | "AsyncTask", "doInBackground" -> Some (Async `Background)
+  | "AsyncTask", "onProgressUpdate" -> Some (Async `Progress)
+  | "AsyncTask", "onPostExecute" -> Some (Async `Post)
+  | _, _ -> None
+
+(* The closest builtin ancestor of [cls] (inclusive) that declares [meth],
+   i.e. the framework signature an override implements. *)
+let framework_decl (sema : Sema.t) ~cls ~meth : string option =
+  let rec go name =
+    let c = Sema.get_class sema name in
+    let declares = List.exists (fun m -> String.equal m.Sema.rm_name meth) c.Sema.rc_methods in
+    if c.Sema.rc_builtin && declares then Some name
+    else match c.Sema.rc_super with None -> None | Some s -> go s
+  in
+  go cls
+
+(* Classify a user method as a callback: it must override a framework
+   callback declaration. *)
+let of_method (sema : Sema.t) ~cls ~meth : kind option =
+  match framework_decl sema ~cls ~meth with
+  | None -> None
+  | Some decl_class -> classify ~decl_class ~meth
+
+(* Does a callback run on a looper (event) thread? [doInBackground] is the
+   only callback executing on a background thread. *)
+let on_looper = function
+  | Async `Background -> false
+  | Lifecycle _ | Service_lifecycle _ | Ui _ | System _ | Service_conn _ | Receive
+  | Handle_message | Runnable_run
+  | Async (`Pre | `Progress | `Post) ->
+      true

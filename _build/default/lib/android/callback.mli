@@ -1,0 +1,40 @@
+(** Classification of Android callbacks, mirroring the paper's taxonomy
+    (§4, §7): Entry Callbacks are invoked by the runtime (lifecycle, UI,
+    system events); Posted Callbacks are triggered from within the
+    application (Handler, service connection, receiver registration,
+    AsyncTask). *)
+
+type kind =
+  | Lifecycle of string  (** Activity lifecycle: onCreate, onResume, ... *)
+  | Service_lifecycle of string
+  | Ui of string  (** onClick, menu and result callbacks, ... *)
+  | System of string  (** onLocationChanged, onSensorChanged *)
+  | Service_conn of [ `Connected | `Disconnected ]
+  | Receive
+  | Handle_message
+  | Runnable_run
+  | Async of [ `Pre | `Background | `Progress | `Post ]
+
+val pp_kind : kind Fmt.t
+
+val activity_lifecycle : string list
+(** Activity lifecycle callback names in canonical order. *)
+
+val activity_ui : string list
+(** Non-lifecycle entry callbacks declared on Activity. *)
+
+val service_lifecycle : string list
+
+val classify : decl_class:string -> meth:string -> kind option
+(** Classify an override given the builtin class declaring it. *)
+
+val framework_decl : Nadroid_lang.Sema.t -> cls:string -> meth:string -> string option
+(** The closest builtin ancestor of [cls] declaring [meth]. *)
+
+val of_method : Nadroid_lang.Sema.t -> cls:string -> meth:string -> kind option
+(** Classify a user method as a callback (it must override a framework
+    callback declaration). *)
+
+val on_looper : kind -> bool
+(** Does the callback run on a looper thread? Only [doInBackground]
+    does not. *)

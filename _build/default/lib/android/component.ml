@@ -1,0 +1,74 @@
+(* Discovery of application components.
+
+   A component is a user (non-anonymous) class extending Activity,
+   Service, or BroadcastReceiver. Components are the roots of
+   threadification: the framework instantiates them and invokes their
+   entry callbacks (§4.1). A BroadcastReceiver that is only ever
+   registered dynamically is not a manifest component; we treat
+   non-anonymous receiver subclasses as manifest-declared, matching how
+   real apps declare them in XML. *)
+
+open Nadroid_lang
+
+type kind = Activity | Service | Receiver
+
+let pp_kind ppf = function
+  | Activity -> Fmt.string ppf "activity"
+  | Service -> Fmt.string ppf "service"
+  | Receiver -> Fmt.string ppf "receiver"
+
+type t = {
+  cls : string;
+  kind : kind;
+  entry_callbacks : (string * Callback.kind) list;
+      (** overridden entry-callback methods, with their classification *)
+}
+
+let kind_of_class (sema : Sema.t) name : kind option =
+  if Sema.is_subclass sema name "Activity" then Some Activity
+  else if Sema.is_subclass sema name "Service" then Some Service
+  else if Sema.is_subclass sema name "BroadcastReceiver" then Some Receiver
+  else None
+
+(* Entry callbacks of a component: every overridden method that
+   classifies as a framework callback. This includes callbacks inherited
+   from user-written superclasses (common with base activities). *)
+let entry_callbacks_of (sema : Sema.t) name : (string * Callback.kind) list =
+  let rec collect cls acc =
+    let c = Sema.get_class sema cls in
+    let acc =
+      if c.Sema.rc_builtin then acc
+      else
+        List.fold_left
+          (fun acc (m : Sema.rmeth) ->
+            if List.mem_assoc m.Sema.rm_name acc then acc
+            else
+              match Callback.of_method sema ~cls:name ~meth:m.Sema.rm_name with
+              | Some k -> (m.Sema.rm_name, k) :: acc
+              | None -> acc)
+          acc c.Sema.rc_methods
+    in
+    match c.Sema.rc_super with None -> acc | Some s -> collect s acc
+  in
+  List.rev (collect name [])
+
+let discover (sema : Sema.t) : t list =
+  List.filter_map
+    (fun (c : Sema.rcls) ->
+      if c.Sema.rc_anon then None
+      else
+        match kind_of_class sema c.Sema.rc_name with
+        | None -> None
+        | Some kind ->
+            Some
+              {
+                cls = c.Sema.rc_name;
+                kind;
+                entry_callbacks = entry_callbacks_of sema c.Sema.rc_name;
+              })
+    (Sema.user_classes sema)
+
+let pp ppf t =
+  Fmt.pf ppf "%a %s [%a]" pp_kind t.kind t.cls
+    Fmt.(list ~sep:(any ", ") (using fst string))
+    t.entry_callbacks

@@ -1,0 +1,24 @@
+(** Discovery of application components: user (non-anonymous) classes
+    extending Activity, Service, or BroadcastReceiver. Components are
+    the roots of threadification — the framework instantiates them and
+    invokes their entry callbacks (§4.1). *)
+
+type kind = Activity | Service | Receiver
+
+val pp_kind : kind Fmt.t
+
+type t = {
+  cls : string;
+  kind : kind;
+  entry_callbacks : (string * Callback.kind) list;
+      (** overridden entry-callback methods with their classification,
+          including ones inherited from user-written base classes *)
+}
+
+val kind_of_class : Nadroid_lang.Sema.t -> string -> kind option
+
+val entry_callbacks_of : Nadroid_lang.Sema.t -> string -> (string * Callback.kind) list
+
+val discover : Nadroid_lang.Sema.t -> t list
+
+val pp : t Fmt.t

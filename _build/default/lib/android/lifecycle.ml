@@ -1,0 +1,75 @@
+(* The Activity lifecycle automaton.
+
+   Used in two places:
+   - the Must-Happens-Before filter (§6.1.1): onCreate must precede every
+     other callback of the same activity, and onDestroy must follow them;
+     crucially there is NO static MHB among onResume/onPause/UI callbacks
+     because of the lifecycle back-edges (the "back button", §6.1.1);
+   - the dynamic simulator's event generator, which only fires lifecycle
+     transitions the automaton allows. *)
+
+type state = S_init | S_created | S_started | S_resumed | S_paused | S_stopped | S_destroyed
+
+let pp_state ppf s =
+  Fmt.string ppf
+    (match s with
+    | S_init -> "init"
+    | S_created -> "created"
+    | S_started -> "started"
+    | S_resumed -> "resumed"
+    | S_paused -> "paused"
+    | S_stopped -> "stopped"
+    | S_destroyed -> "destroyed")
+
+(* Transitions: (from, callback, to). Includes the back edges that defeat
+   naive happens-before assumptions. *)
+let transitions =
+  [
+    (S_init, "onCreate", S_created);
+    (S_created, "onStart", S_started);
+    (S_started, "onResume", S_resumed);
+    (S_resumed, "onPause", S_paused);
+    (S_paused, "onResume", S_resumed);  (* back edge *)
+    (S_paused, "onStop", S_stopped);
+    (S_stopped, "onRestart", S_started);  (* back edge *)
+    (S_stopped, "onDestroy", S_destroyed);
+  ]
+
+let initial = S_init
+
+let enabled state = List.filter_map (fun (f, cb, t) -> if f = state then Some (cb, t) else None) transitions
+
+let step state cb =
+  List.find_map (fun (f, c, t) -> if f = state && String.equal c cb then Some t else None) transitions
+
+(* In which states can a given UI / system callback fire? UI callbacks
+   need a visible activity; we allow them whenever the activity is
+   started or resumed. *)
+let ui_enabled state = match state with S_started | S_resumed -> true | S_init | S_created | S_paused | S_stopped | S_destroyed -> false
+
+(* -- static must-happens-before ---------------------------------------- *)
+
+(* MHB-Lifecycle (§6.1.1): the only sound lifecycle orders are
+   [onCreate < X] for every other callback X of the same activity, and
+   [X < onDestroy]. Everything in between is circular. *)
+let must_happen_before ~(first : string) ~(second : string) : bool =
+  (* callers guarantee both callbacks belong to the same activity and are
+     lifecycle/UI callbacks (including registered listeners like onClick) *)
+  (String.equal first "onCreate" && not (String.equal second "onCreate"))
+  || (String.equal second "onDestroy" && not (String.equal first "onDestroy"))
+
+(* All callback sequences of bounded length the automaton accepts,
+   starting from [initial]; used by property tests and by the simulator's
+   exhaustive mode. *)
+let sequences ~max_len : string list list =
+  let rec go state len =
+    if len = 0 then [ [] ]
+    else
+      let stop = [ [] ] in
+      let continue =
+        List.concat_map (fun (cb, s') -> List.map (fun rest -> cb :: rest) (go s' (len - 1)))
+          (enabled state)
+      in
+      stop @ continue
+  in
+  go initial max_len

@@ -1,0 +1,31 @@
+(** The Activity lifecycle automaton.
+
+    Used by the Must-Happens-Before filter (§6.1.1) — where only
+    [onCreate]-first and [onDestroy]-last are statically sound, because
+    of the pause/resume and stop/restart back edges — and by the
+    simulator's event generator, which only fires transitions the
+    automaton allows. *)
+
+type state = S_init | S_created | S_started | S_resumed | S_paused | S_stopped | S_destroyed
+
+val pp_state : state Fmt.t
+
+val transitions : (state * string * state) list
+
+val initial : state
+
+val enabled : state -> (string * state) list
+(** Callbacks that may fire in a state, with their successor state. *)
+
+val step : state -> string -> state option
+
+val ui_enabled : state -> bool
+(** May UI events (clicks, menus) fire in this state? *)
+
+val must_happen_before : first:string -> second:string -> bool
+(** The statically sound lifecycle orders, for two callbacks of the
+    {e same} activity: [onCreate] before everything, everything before
+    [onDestroy]. Callers guarantee both are lifecycle/UI callbacks. *)
+
+val sequences : max_len:int -> string list list
+(** All callback sequences of bounded length the automaton accepts. *)

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Detect Fmt List Threadify

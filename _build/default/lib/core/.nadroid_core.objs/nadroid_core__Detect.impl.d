@@ -1,0 +1,1 @@
+lib/core/detect.ml: Array Cfg Escape Fmt Hashtbl Instr List Nadroid_analysis Nadroid_datalog Nadroid_ir Nadroid_lang Prog Pta Sema String Threadify

@@ -1,0 +1,1 @@
+lib/core/detect.mli: Escape Fmt Instr Nadroid_analysis Nadroid_ir Pta Threadify

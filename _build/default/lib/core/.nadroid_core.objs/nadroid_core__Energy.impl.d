@@ -1,0 +1,1 @@
+lib/core/energy.ml: Array Cfg Detect Fmt Hashtbl Instr List Nadroid_analysis Nadroid_android Nadroid_ir Nadroid_lang Prog Pta String Threadify

@@ -1,0 +1,1 @@
+lib/core/filters.mli: Detect Escape Fmt Lockset Nadroid_analysis Threadify

@@ -1,0 +1,1 @@
+lib/core/mhp.ml: Cfg Dataflow Detect Hashtbl Instr List Nadroid_analysis Nadroid_android Nadroid_ir Nadroid_lang Prog Pta Sema String Threadify

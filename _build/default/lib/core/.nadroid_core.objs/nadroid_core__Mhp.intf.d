@@ -1,0 +1,1 @@
+lib/core/mhp.mli: Detect Threadify

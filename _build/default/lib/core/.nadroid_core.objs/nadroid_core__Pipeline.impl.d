@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Classify Detect Escape Filters List Lockset Nadroid_analysis Nadroid_ir Nadroid_lang Prog Pta Sema String Threadify Unix

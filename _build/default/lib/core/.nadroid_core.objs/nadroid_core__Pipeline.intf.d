@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Classify Detect Escape Filters Lockset Nadroid_analysis Nadroid_ir Prog Pta Threadify

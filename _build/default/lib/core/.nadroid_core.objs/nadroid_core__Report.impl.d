@@ -1,0 +1,1 @@
+lib/core/report.ml: Classify Detect Fmt Instr List Loc Nadroid_ir Nadroid_lang Sema String Threadify

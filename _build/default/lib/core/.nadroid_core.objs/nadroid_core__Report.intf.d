@@ -1,0 +1,1 @@
+lib/core/report.mli: Classify Detect Fmt Format Loc Nadroid_ir Nadroid_lang Threadify

@@ -1,0 +1,1 @@
+lib/core/threadify.ml: Api Array Buffer Callback Component Escape Fmt Hashtbl Instr List Nadroid_analysis Nadroid_android Nadroid_ir Nadroid_lang Option Printf Prog Pta Sema String

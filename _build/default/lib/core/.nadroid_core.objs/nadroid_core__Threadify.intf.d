@@ -1,0 +1,1 @@
+lib/core/threadify.mli: Fmt Hashtbl Nadroid_analysis Nadroid_android Pta

@@ -1,0 +1,65 @@
+(* Classification of UAF warnings by the origins of their use and free
+   operations (§7): callbacks are Entry Callbacks (EC) or Posted Callbacks
+   (PC); native threads are Reachable (RT) or Non-reachable (NT) relative
+   to the callback they race with. Thread reachability is transitive
+   across thread creation and event posting (it follows the
+   threadification lineage). *)
+
+type category = EC_EC | EC_PC | PC_PC | C_RT | C_NT
+
+let all = [ EC_EC; EC_PC; PC_PC; C_RT; C_NT ]
+
+let to_string = function
+  | EC_EC -> "EC-EC"
+  | EC_PC -> "EC-PC"
+  | PC_PC -> "PC-PC"
+  | C_RT -> "C-RT"
+  | C_NT -> "C-NT"
+
+let pp ppf c = Fmt.string ppf (to_string c)
+
+type side = S_ec | S_pc | S_thread
+
+let side_of (th : Threadify.thread) : side =
+  match th.Threadify.th_kind with
+  | Threadify.Entry_cb _ -> S_ec
+  | Threadify.Posted_cb _ -> S_pc
+  | Threadify.Native_thread | Threadify.Async_background -> S_thread
+  | Threadify.Dummy_main -> S_ec
+
+(* Category of a single (use-thread, free-thread) pair. *)
+let of_pair (tf : Threadify.t) (tu_id : int) (tf_id : int) : category =
+  let tu = Threadify.thread tf tu_id and tfr = Threadify.thread tf tf_id in
+  match (side_of tu, side_of tfr) with
+  | S_ec, S_ec -> EC_EC
+  | S_ec, S_pc | S_pc, S_ec -> EC_PC
+  | S_pc, S_pc -> PC_PC
+  | (S_ec | S_pc), S_thread | S_thread, (S_ec | S_pc) ->
+      let cb, th = if side_of tu = S_thread then (tfr, tu) else (tu, tfr) in
+      (* RT: the thread descends from this callback (transitively through
+         spawns and posts) *)
+      if Threadify.is_ancestor tf ~anc:cb ~desc:th then C_RT else C_NT
+  | S_thread, S_thread -> C_NT
+
+(* A warning's category: the most asynchronous of its pairs — the paper's
+   hypothesis (§7) is that more complex interactions are likelier bugs, so
+   we surface the highest-risk category. Order: C-NT > C-RT > PC-PC >
+   EC-PC > EC-EC. *)
+let rank = function C_NT -> 4 | C_RT -> 3 | PC_PC -> 2 | EC_PC -> 1 | EC_EC -> 0
+
+let of_warning (tf : Threadify.t) (w : Detect.warning) : category =
+  match w.Detect.w_pairs with
+  | [] -> EC_EC
+  | p :: rest ->
+      List.fold_left
+        (fun acc (u, f) ->
+          let c = of_pair tf u f in
+          if rank c > rank acc then c else acc)
+        (of_pair tf (fst p) (snd p))
+        rest
+
+(* Histogram of warnings by category, in the Table 1 column order. *)
+let histogram (tf : Threadify.t) (ws : Detect.warning list) : (category * int) list =
+  List.map
+    (fun c -> (c, List.length (List.filter (fun w -> of_warning tf w = c) ws)))
+    all

@@ -1,0 +1,23 @@
+(** Classification of warnings by the origins of their use and free
+    operations (paper §7): EC-EC, EC-PC, PC-PC, C-RT (the thread descends
+    from the racing callback), C-NT. Used to rank reports by the paper's
+    hypothesis that more asynchronous interactions are likelier bugs. *)
+
+type category = EC_EC | EC_PC | PC_PC | C_RT | C_NT
+
+val all : category list
+
+val to_string : category -> string
+
+val pp : category Fmt.t
+
+val of_pair : Threadify.t -> int -> int -> category
+(** Category of a single (use-thread, free-thread) pair. *)
+
+val rank : category -> int
+(** C-NT > C-RT > PC-PC > EC-PC > EC-EC. *)
+
+val of_warning : Threadify.t -> Detect.warning -> category
+(** The most asynchronous category among the warning's pairs. *)
+
+val histogram : Threadify.t -> Detect.warning list -> (category * int) list

@@ -1,0 +1,191 @@
+(* UAF ordering-violation detection (§5).
+
+   After threadification, collect every {e use} ([getfield]) and {e free}
+   ([putfield] of the null literal) executed by each modeled thread, and
+   report a potential UAF for every use/free pair on the same abstract
+   field — base points-to sets overlap on an escaping object — coming
+   from two different modeled threads.
+
+   Per the paper: lockset analysis is ignored at this stage (locks do not
+   prevent ordering violations) and no MHP analysis is used; the
+   happens-before filters (§6) replace it. The final candidate join runs
+   on the Datalog engine, mirroring Chord's bddbddb-based pipeline. *)
+
+open Nadroid_lang
+open Nadroid_ir
+open Nadroid_analysis
+module IntSet = Pta.IntSet
+
+type site = { s_inst : int; s_mref : Instr.mref; s_instr : Instr.t }
+
+let pp_site ppf s =
+  Fmt.pf ppf "%a#%d" Instr.pp_mref s.s_mref s.s_instr.Instr.id
+
+let site_key s = Fmt.str "%s.%s#%d" s.s_mref.Instr.mr_class s.s_mref.Instr.mr_name s.s_instr.Instr.id
+
+type access = {
+  a_thread : int;  (** thread id *)
+  a_site : site;
+  a_field : Instr.fref;
+  a_objs : IntSet.t;  (** abstract base objects; empty for statics *)
+  a_static : bool;
+}
+
+type warning = {
+  w_field : Instr.fref;
+  w_use : site;
+  w_free : site;
+  w_pairs : (int * int) list;  (** (use-thread, free-thread) pairs, pruned by filters *)
+}
+
+let warning_key w = (site_key w.w_use, site_key w.w_free)
+
+let field_key (fr : Instr.fref) = fr.Sema.fr_class ^ "." ^ fr.Sema.fr_name
+
+(* Collect uses and frees per thread. *)
+let collect_accesses (tf : Threadify.t) : access list * access list =
+  let pta = tf.Threadify.pta in
+  let prog = pta.Pta.prog in
+  let uses = ref [] and frees = ref [] in
+  List.iter
+    (fun th ->
+      if th.Threadify.th_entry >= 0 then
+        IntSet.iter
+          (fun inst_id ->
+            let inst = Pta.instance pta inst_id in
+            match Prog.body prog inst.Pta.i_mref with
+            | None -> ()
+            | Some body ->
+                Cfg.iter_instrs
+                  (fun ins ->
+                    let site = { s_inst = inst_id; s_mref = inst.Pta.i_mref; s_instr = ins } in
+                    match ins.Instr.i with
+                    | Instr.Getfield (_, o, fr) ->
+                        uses :=
+                          {
+                            a_thread = th.Threadify.th_id;
+                            a_site = site;
+                            a_field = fr;
+                            a_objs = Pta.pts_var pta ~inst:inst_id ~v:o;
+                            a_static = false;
+                          }
+                          :: !uses
+                    | Instr.Getstatic (_, fr) ->
+                        uses :=
+                          {
+                            a_thread = th.Threadify.th_id;
+                            a_site = site;
+                            a_field = fr;
+                            a_objs = IntSet.empty;
+                            a_static = true;
+                          }
+                          :: !uses
+                    | Instr.Putfield (o, fr, _, Instr.Src_null) ->
+                        frees :=
+                          {
+                            a_thread = th.Threadify.th_id;
+                            a_site = site;
+                            a_field = fr;
+                            a_objs = Pta.pts_var pta ~inst:inst_id ~v:o;
+                            a_static = false;
+                          }
+                          :: !frees
+                    | Instr.Putstatic (fr, _, Instr.Src_null) ->
+                        frees :=
+                          {
+                            a_thread = th.Threadify.th_id;
+                            a_site = site;
+                            a_field = fr;
+                            a_objs = IntSet.empty;
+                            a_static = true;
+                          }
+                          :: !frees
+                    | Instr.Putfield (_, _, _, Instr.Src_var)
+                    | Instr.Putstatic (_, _, Instr.Src_var)
+                    | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Call _
+                    | Instr.Intrinsic _ | Instr.Unop _ | Instr.Binop _
+                    | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+                        ())
+                  body)
+          (Threadify.instances_of tf th))
+    (Threadify.threads tf);
+  (!uses, !frees)
+
+(* Do two accesses touch the same abstract memory? Statics match by field
+   key; instance fields need a common, escaping base object. *)
+let may_alias (esc : Escape.t) (a : access) (b : access) =
+  String.equal (field_key a.a_field) (field_key b.a_field)
+  &&
+  if a.a_static || b.a_static then true
+  else
+    let common = IntSet.inter a.a_objs b.a_objs in
+    IntSet.exists (fun oid -> Escape.escapes esc oid) common
+
+(* The candidate join, expressed in Datalog over interned access ids:
+     race(U, F) :- use_at(U, K), free_at(F, K), alias(U, F).
+   [alias] is loaded as an EDB relation computed from points-to overlap. *)
+let candidate_join (esc : Escape.t) (uses : access array) (frees : access array) :
+    (int * int) list =
+  let db = Nadroid_datalog.Engine.create () in
+  let uid i = "u" ^ string_of_int i and fid i = "f" ^ string_of_int i in
+  Array.iteri (fun i a -> Nadroid_datalog.Engine.fact db "use_at" [ uid i; field_key a.a_field ]) uses;
+  Array.iteri (fun i a -> Nadroid_datalog.Engine.fact db "free_at" [ fid i; field_key a.a_field ]) frees;
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if a.a_thread <> b.a_thread && may_alias esc a b then
+            Nadroid_datalog.Engine.fact db "alias" [ uid i; fid j ])
+        frees)
+    uses;
+  let v x = Nadroid_datalog.Engine.Var x in
+  Nadroid_datalog.Engine.add_rule db
+    (Nadroid_datalog.Engine.atom "race" [ v "u"; v "f" ])
+    [
+      Nadroid_datalog.Engine.Pos (Nadroid_datalog.Engine.atom "use_at" [ v "u"; v "k" ]);
+      Nadroid_datalog.Engine.Pos (Nadroid_datalog.Engine.atom "free_at" [ v "f"; v "k" ]);
+      Nadroid_datalog.Engine.Pos (Nadroid_datalog.Engine.atom "alias" [ v "u"; v "f" ]);
+    ];
+  List.filter_map
+    (fun row ->
+      match row with
+      | [| u; f |] ->
+          let ui = int_of_string (String.sub u 1 (String.length u - 1)) in
+          let fi = int_of_string (String.sub f 1 (String.length f - 1)) in
+          Some (ui, fi)
+      | _ -> None)
+    (Nadroid_datalog.Engine.query db "race")
+
+(* Detect all potential UAF warnings, deduplicated to (use site, free
+   site) pairs as in the paper ("each warning is a pair of free-use
+   operations", §8.3). *)
+let run (tf : Threadify.t) (esc : Escape.t) : warning list =
+  let uses_l, frees_l = collect_accesses tf in
+  let uses = Array.of_list uses_l and frees = Array.of_list frees_l in
+  let pairs = candidate_join esc uses frees in
+  let table : (string * string, warning ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (ui, fi) ->
+      let u = uses.(ui) and f = frees.(fi) in
+      let key = (site_key u.a_site, site_key f.a_site) in
+      match Hashtbl.find_opt table key with
+      | Some w ->
+          let p = (u.a_thread, f.a_thread) in
+          if not (List.mem p !w.w_pairs) then w := { !w with w_pairs = p :: !w.w_pairs }
+      | None ->
+          let w =
+            ref
+              {
+                w_field = u.a_field;
+                w_use = u.a_site;
+                w_free = f.a_site;
+                w_pairs = [ (u.a_thread, f.a_thread) ];
+              }
+          in
+          Hashtbl.add table key w;
+          order := key :: !order)
+    pairs;
+  List.rev_map (fun key -> !(Hashtbl.find table key)) !order
+
+let n_warnings = List.length

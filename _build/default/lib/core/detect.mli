@@ -1,0 +1,38 @@
+(** UAF ordering-violation detection (paper §5).
+
+    After threadification, every {e use} ([getfield]) and {e free}
+    ([putfield] of the null literal) is collected per modeled thread; a
+    potential UAF is a use/free pair on the same abstract field (base
+    points-to sets overlap on an escaping object) from two different
+    threads. Locksets and MHP are deliberately not used at this stage
+    (§5); the §6 filters replace them. The candidate join runs on the
+    Datalog engine. *)
+
+open Nadroid_ir
+open Nadroid_analysis
+module IntSet = Pta.IntSet
+
+type site = { s_inst : int; s_mref : Instr.mref; s_instr : Instr.t }
+
+val pp_site : site Fmt.t
+
+val site_key : site -> string
+
+type warning = {
+  w_field : Instr.fref;
+  w_use : site;
+  w_free : site;
+  w_pairs : (int * int) list;
+      (** (use-thread, free-thread) pairs; filters prune them and a
+          warning dies when none survive *)
+}
+
+val warning_key : warning -> string * string
+
+val field_key : Instr.fref -> string
+
+val run : Threadify.t -> Escape.t -> warning list
+(** All potential UAFs, deduplicated to (use site, free site) pairs as
+    in the paper ("each warning is a pair of free-use operations"). *)
+
+val n_warnings : warning list -> int

@@ -1,0 +1,28 @@
+(** No-sleep / energy-bug detection — the paper's §9 extension: a wake
+    lock acquired by one callback must be released on every
+    continuation; when the only releases live in callbacks with no
+    guaranteed order after the acquire, the device can be kept awake —
+    an ordering violation between [acquire] and [release].
+
+    Reuses the UAF machinery: the threadification forest for structure,
+    points-to for wake-lock identity, and a lifecycle teardown filter
+    (releases in onPause/onStop/onDestroy of the owning component are
+    ordered before the app backgrounds — the MHB analogue). *)
+
+type kind =
+  | No_release  (** no aliasing release anywhere *)
+  | Leaky_path  (** the acquiring callback may exit without releasing *)
+  | Unordered_release  (** releases exist but are not ordered after the acquire *)
+
+val pp_kind : kind Fmt.t
+
+type warning = {
+  nw_kind : kind;
+  nw_acquire : Detect.site;
+  nw_thread : int;
+  nw_releases : (int * Detect.site) list;
+}
+
+val pp : warning Fmt.t
+
+val detect : Threadify.t -> warning list

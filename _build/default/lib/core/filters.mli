@@ -1,0 +1,48 @@
+(** False-positive filters (paper §6).
+
+    Sound: Must-Happens-Before (Service, AsyncTask, Lifecycle), If-Guard,
+    Intra-Allocation. Unsound: Resume-HB, Cancel-HB, Post-HB,
+    Maybe-Allocation, Used-for-Return, Thread-Thread.
+
+    A filter is a predicate on a (warning, thread-pair); a warning is
+    pruned once all of its pairs are pruned. IG/IA/MA are
+    atomicity-aware: between looper callbacks they apply directly,
+    across true threads only under a common lock (§6.1.2) — unless
+    [atomic_ig] is disabled, which reproduces DEvA's unsound behaviour
+    for the baseline comparison. *)
+
+open Nadroid_analysis
+
+type name = MHB | IG | IA | RHB | CHB | PHB | MA | UR | TT
+
+val all_names : name list
+
+val sound : name list
+(** [[MHB; IG; IA]] *)
+
+val unsound : name list
+(** [[RHB; CHB; PHB; MA; UR; TT]] *)
+
+val may_hb : name list
+(** The may-happens-before group of Figure 5(b): [[RHB; CHB; PHB]]. *)
+
+val name_to_string : name -> string
+
+val pp_name : name Fmt.t
+
+type ctx
+
+val create_ctx : ?atomic_ig:bool -> Threadify.t -> Escape.t -> Lockset.t -> ctx
+(** [atomic_ig] defaults to [true] (nAdroid); [false] applies IG/IA/MA
+    without atomicity, as DEvA does. *)
+
+val prunes : ctx -> name -> Detect.warning -> int * int -> bool
+(** Does the named filter prune this (use-thread, free-thread) pair? *)
+
+val apply : ctx -> name list -> Detect.warning list -> Detect.warning list
+(** Prune pairs by every listed filter; drop warnings with no surviving
+    pair. *)
+
+val pruned_count : ctx -> name list -> Detect.warning list -> int
+(** Warnings fully pruned when only [names] are enabled — the Figure 5
+    per-filter measurements. *)

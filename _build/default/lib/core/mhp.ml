@@ -1,0 +1,115 @@
+(* May-Happen-in-Parallel analysis — implemented to justify dropping it.
+
+   Chord's race detector includes an MHP analysis driven by blocking
+   synchronisation ([Thread.join], wait/notify). The paper removes it
+   (§5): on Android, blocking primitives that enforce cross-thread order
+   are rare (blocking the looper freezes the UI), so MHP adds almost
+   nothing while requiring flow-sensitive reasoning; the Android-specific
+   happens-before filters (§6) replace it.
+
+   This module implements the join-based core of such an analysis so the
+   claim can be measured (see the `ablation` benchmark): a callback's
+   instructions after a [Thread.join] cannot run in parallel with the
+   joined thread, so a racy pair whose callback-side access is
+   join-ordered is pruned. *)
+
+open Nadroid_lang
+open Nadroid_ir
+open Nadroid_analysis
+module IntSet = Pta.IntSet
+
+(* Thread objects joined before a given instruction of a body: forward
+   must-analysis collecting the points-to sets of join receivers. *)
+let joined_before (pta : Pta.t) ~inst (body : Cfg.body) : (int, IntSet.t) Hashtbl.t =
+  let module D = Dataflow in
+  let universe = ref IntSet.empty in
+  Cfg.iter_instrs
+    (fun ins ->
+      match ins.Instr.i with
+      | Instr.Call (_, recv, ms, _)
+        when String.equal ms.Sema.ms_class "Thread" && String.equal ms.Sema.ms_name "join" ->
+          universe := IntSet.union !universe (Pta.pts_var pta ~inst ~v:recv)
+      | Instr.Call _ | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Getfield _
+      | Instr.Putfield _ | Instr.Getstatic _ | Instr.Putstatic _ | Instr.Intrinsic _
+      | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+          ())
+    body;
+  let spec =
+    {
+      D.init_entry = IntSet.empty;
+      init_other = !universe;
+      join = IntSet.inter;
+      equal = IntSet.equal;
+      transfer_instr =
+        (fun ins fact ->
+          match ins.Instr.i with
+          | Instr.Call (_, recv, ms, _)
+            when String.equal ms.Sema.ms_class "Thread" && String.equal ms.Sema.ms_name "join"
+            ->
+              (* a join only orders when the receiver is unambiguous *)
+              let p = Pta.pts_var pta ~inst ~v:recv in
+              if IntSet.cardinal p = 1 then IntSet.union fact p else fact
+          | Instr.Call _ | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Getfield _
+          | Instr.Putfield _ | Instr.Getstatic _ | Instr.Putstatic _ | Instr.Intrinsic _
+          | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+              fact);
+      transfer_edge = (fun _ _ f -> f);
+    }
+  in
+  let res = D.run body spec in
+  let table = Hashtbl.create 32 in
+  D.iter_facts res (fun ins fact -> Hashtbl.replace table ins.Instr.id fact) ;
+  table
+
+(* The Thread objects behind a native modeled thread: the receivers of
+   the Thread.start() edge that created it. *)
+let thread_objects (tf : Threadify.t) (th : Threadify.thread) : IntSet.t =
+  match th.Threadify.th_origin with
+  | Threadify.O_edge e -> (
+      match e.Pta.ce_kind with
+      | Pta.E_api (Nadroid_android.Api.Spawn Nadroid_android.Api.Spawn_thread) -> (
+          match e.Pta.ce_instr.Instr.i with
+          | Instr.Call (_, recv, _, _) ->
+              Pta.pts_var tf.Threadify.pta ~inst:e.Pta.ce_from ~v:recv
+          | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Getfield _ | Instr.Putfield _
+          | Instr.Getstatic _ | Instr.Putstatic _ | Instr.Intrinsic _ | Instr.Unop _
+          | Instr.Binop _ | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+              IntSet.empty)
+      | Pta.E_api _ | Pta.E_ordinary -> IntSet.empty)
+  | Threadify.O_main | Threadify.O_root _ -> IntSet.empty
+
+(* Can the two sides of a warning pair actually run in parallel? [false]
+   only when the callback-side access is ordered after a join of the
+   thread-side's Thread object, in the same body. *)
+let may_happen_in_parallel (tf : Threadify.t) (w : Detect.warning) ((tu, tfr) : int * int) :
+    bool =
+  let pta = tf.Threadify.pta in
+  let prog = pta.Pta.prog in
+  let check ~(cb_site : Detect.site) ~(thread : Threadify.thread) =
+    let tobjs = thread_objects tf thread in
+    if IntSet.is_empty tobjs then true
+    else
+      match Prog.body prog cb_site.Detect.s_mref with
+      | None -> true
+      | Some body -> (
+          let table = joined_before pta ~inst:cb_site.Detect.s_inst body in
+          match Hashtbl.find_opt table cb_site.Detect.s_instr.Instr.id with
+          | Some joined -> not (IntSet.subset tobjs joined)
+          | None -> true)
+  in
+  let ut = Threadify.thread tf tu and ft = Threadify.thread tf tfr in
+  match (ut.Threadify.th_kind, ft.Threadify.th_kind) with
+  | _, Threadify.Native_thread when Threadify.on_looper ut ->
+      check ~cb_site:w.Detect.w_use ~thread:ft
+  | Threadify.Native_thread, _ when Threadify.on_looper ft ->
+      check ~cb_site:w.Detect.w_free ~thread:ut
+  | _, _ -> true
+
+(* Apply MHP as an extra filter, for the ablation: how many warnings
+   would Chord's join-based MHP have pruned? *)
+let prune (tf : Threadify.t) (ws : Detect.warning list) : Detect.warning list =
+  List.filter_map
+    (fun (w : Detect.warning) ->
+      let pairs = List.filter (may_happen_in_parallel tf w) w.Detect.w_pairs in
+      match pairs with [] -> None | _ :: _ -> Some { w with Detect.w_pairs = pairs })
+    ws

@@ -1,0 +1,13 @@
+(** May-Happen-in-Parallel analysis — implemented to justify dropping it.
+
+    The paper removes Chord's MHP analysis (§5) because Android code
+    rarely uses blocking cross-thread synchronisation. This module
+    implements the join-based core of such an analysis so the claim can
+    be measured: a callback access ordered after [Thread.join] of the
+    racing thread's object cannot run in parallel with it. *)
+
+val may_happen_in_parallel : Threadify.t -> Detect.warning -> int * int -> bool
+
+val prune : Threadify.t -> Detect.warning list -> Detect.warning list
+(** Drop warning pairs that provably cannot run in parallel; the
+    `ablation` benchmark reports how little this buys on the corpus. *)

@@ -1,0 +1,57 @@
+(** The end-to-end nAdroid pipeline (paper Fig. 2):
+
+    source -> frontend -> threadification (§4) -> detection (§5) ->
+    sound filters (§6.1) -> unsound filters (§6.2) -> report.
+
+    Per-phase timings are recorded to reproduce the §8.8 breakdown. *)
+
+open Nadroid_ir
+open Nadroid_analysis
+
+type config = {
+  k : int;  (** k-object-sensitivity depth (paper default: 2) *)
+  sound : Filters.name list;
+  unsound : Filters.name list;
+  atomic_ig : bool;  (** [false] = DEvA-style unsound IG/IA *)
+}
+
+val default_config : config
+
+type timings = { t_modeling : float; t_detection : float; t_filtering : float }
+
+type t = {
+  prog : Prog.t;
+  pta : Pta.t;
+  esc : Escape.t;
+  locks : Lockset.t;
+  threads : Threadify.t;
+  ctx : Filters.ctx;
+  potential : Detect.warning list;
+  after_sound : Detect.warning list;
+  after_unsound : Detect.warning list;
+  timings : timings;
+  config : config;
+}
+
+val analyze_prog : ?config:config -> Prog.t -> t
+
+val analyze : ?config:config -> file:string -> string -> t
+(** Parse, typecheck, lower and analyse a MiniAndroid source. *)
+
+(** Counts for an app's Table 1 row. *)
+type row = {
+  loc : int;  (** non-blank lines of MiniAndroid source *)
+  ec : int;
+  pc : int;
+  threads_count : int;
+  potential_count : int;
+  after_sound_count : int;
+  after_unsound_count : int;
+  by_category : (Classify.category * int) list;
+}
+
+val count_loc : string -> int
+
+val row : ?src:string -> t -> row
+
+val time : (unit -> 'a) -> 'a * float

@@ -1,0 +1,55 @@
+(* Programmer-facing warning reports (§7): each potential UAF is rendered
+   with its racy field, use/free sites, origin categories, and the
+   callback/thread lineage chains that explain how each side comes to
+   run. *)
+
+open Nadroid_lang
+open Nadroid_ir
+
+type t = {
+  field : string;
+  use_site : string;
+  use_loc : Loc.t;
+  free_site : string;
+  free_loc : Loc.t;
+  category : Classify.category;
+  use_lineages : string list;
+  free_lineages : string list;
+}
+
+let field_name (fr : Instr.fref) = fr.Sema.fr_class ^ "." ^ fr.Sema.fr_name
+
+let of_warning (tf : Threadify.t) (w : Detect.warning) : t =
+  let lineages side =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (u, f) -> Threadify.lineage tf (Threadify.thread tf (side (u, f))))
+         w.Detect.w_pairs)
+  in
+  {
+    field = field_name w.Detect.w_field;
+    use_site = Fmt.str "%a" Detect.pp_site w.Detect.w_use;
+    use_loc = w.Detect.w_use.Detect.s_instr.Instr.loc;
+    free_site = Fmt.str "%a" Detect.pp_site w.Detect.w_free;
+    free_loc = w.Detect.w_free.Detect.s_instr.Instr.loc;
+    category = Classify.of_warning tf w;
+    use_lineages = lineages fst;
+    free_lineages = lineages snd;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "potential UAF on %s [%a]@\n" r.field Classify.pp r.category;
+  Fmt.pf ppf "  use : %s (%a)@\n" r.use_site Loc.pp r.use_loc;
+  List.iter (fun l -> Fmt.pf ppf "        via %s@\n" l) r.use_lineages;
+  Fmt.pf ppf "  free: %s (%a)@\n" r.free_site Loc.pp r.free_loc;
+  List.iter (fun l -> Fmt.pf ppf "        via %s@\n" l) r.free_lineages
+
+let pp_all ppf (tf : Threadify.t) (ws : Detect.warning list) =
+  (* highest-risk categories first, per the §7 triage hypothesis *)
+  let reports = List.map (of_warning tf) ws in
+  let sorted =
+    List.sort (fun a b -> compare (Classify.rank b.category) (Classify.rank a.category)) reports
+  in
+  List.iteri (fun i r -> Fmt.pf ppf "[%d] %a@\n" (i + 1) pp r) sorted
+
+let to_string tf ws = Fmt.str "%a" (fun ppf () -> pp_all ppf tf ws) ()

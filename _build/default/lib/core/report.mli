@@ -1,0 +1,27 @@
+(** Programmer-facing warning reports (paper §7): racy field, use/free
+    sites with source locations, origin category, and the
+    callback/thread lineage chains explaining how each side runs. *)
+
+open Nadroid_lang
+
+type t = {
+  field : string;
+  use_site : string;
+  use_loc : Loc.t;
+  free_site : string;
+  free_loc : Loc.t;
+  category : Classify.category;
+  use_lineages : string list;
+  free_lineages : string list;
+}
+
+val field_name : Nadroid_ir.Instr.fref -> string
+
+val of_warning : Threadify.t -> Detect.warning -> t
+
+val pp : t Fmt.t
+
+val pp_all : Format.formatter -> Threadify.t -> Detect.warning list -> unit
+(** Highest-risk categories first. *)
+
+val to_string : Threadify.t -> Detect.warning list -> string

@@ -1,0 +1,1 @@
+lib/corpus/apps_test.ml: List Spec

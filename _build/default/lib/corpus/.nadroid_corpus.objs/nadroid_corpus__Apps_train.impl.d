@@ -1,0 +1,1 @@
+lib/corpus/apps_train.ml: List Spec

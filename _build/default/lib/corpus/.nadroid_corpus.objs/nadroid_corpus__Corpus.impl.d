@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Apps_test Apps_train Astring Gen Lazy List Nadroid_core Spec String

@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: Lazy Nadroid_core Spec

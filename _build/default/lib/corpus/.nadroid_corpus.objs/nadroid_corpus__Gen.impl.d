@@ -1,0 +1,1 @@
+lib/corpus/gen.ml: List Printf Spec String

@@ -1,0 +1,1 @@
+lib/corpus/spec.ml: Fmt Nadroid_core

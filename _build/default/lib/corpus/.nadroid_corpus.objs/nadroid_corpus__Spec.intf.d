@@ -1,0 +1,1 @@
+lib/corpus/spec.mli: Fmt Nadroid_core

@@ -1,0 +1,174 @@
+(* The 20-app "test" group (Table 1, bottom): 6 DroidRacer subjects plus
+   14 popular F-Droid applications. Specs are calibrated so that the
+   aggregate shape tracks Table 1: most potential warnings die under the
+   sound filters (if-guards dominating), unsound filters kill ~70% of the
+   remainder, and the surviving true bugs sit in Aard (C-RT),
+   MyTracks_2 and QKSMS (EC-PC) — 45 in total, which together with the
+   train group's 43 reproduce the paper's 88. *)
+
+open Spec
+
+let rep n p = List.init n (fun _ -> p)
+
+let app name ?(services = 0) ?(padding = 1) acts : Spec.t =
+  { app_name = name; activities = acts; services; padding }
+
+let act name patterns : Spec.activity_spec = { act_name = name; patterns }
+
+let sound_recorder =
+  app "SoundRecorder"
+    [ act "RecorderActivity" (rep 20 P_guarded @ [ P_mhb_lifecycle; P_safe ]) ]
+
+let swiftnotes = app "Swiftnotes" [ act "NotesActivity" (rep 3 P_safe) ]
+
+let photo_affix =
+  app "PhotoAffix"
+    [
+      act "AffixActivity"
+        (rep 31 P_guarded @ rep 22 P_mhb_lifecycle
+        @ rep 4 P_intra_alloc @ [ P_rhb; P_ur; P_fp_path; P_fp_path; P_fp_missing_hb; P_fp_missing_hb ]);
+    ]
+
+let ml_manager =
+  app "MLManager" ~padding:2
+    [
+      act "AppsActivity"
+        (rep 61 P_guarded @ rep 43 P_mhb_lifecycle @ rep 42 P_intra_alloc @ rep 12 P_ma
+        @ rep 9 P_ur @ rep 6 P_tt @ [ P_phb; P_chb; P_rhb; P_safe ]);
+    ]
+
+let insta_material =
+  app "InstaMaterial" ~padding:3
+    [
+      act "FeedActivity"
+        (rep 102 P_guarded @ rep 54 P_mhb_lifecycle @ rep 63 P_intra_alloc @ rep 16 P_ma
+        @ rep 12 P_ur @ rep 6 P_tt @ rep 12 P_phb @ [ P_rhb; P_chb; P_mhb_async; P_safe ]);
+    ]
+
+let tomdroid = app "Tomdroid" [ act "TomdroidActivity" (rep 3 P_safe) ]
+
+let sgt_puzzles =
+  app "SGTPuzzles"
+    [
+      act "GameActivity"
+        (rep 51 P_guarded @ rep 32 P_mhb_lifecycle @ rep 42 P_intra_alloc @ [ P_mhb_service; P_safe ]);
+    ]
+
+let aard =
+  app "Aard" ~padding:2
+    [
+      act "ArticleViewActivity"
+        (rep 8 P_c_rt_uaf @ rep 41 P_guarded @ rep 32 P_mhb_lifecycle @ rep 8 P_ma @ rep 6 P_ur
+        @ [ P_tt ] @ rep 5 P_fp_path @ rep 2 P_fp_missing_hb @ [ P_safe ]);
+    ]
+
+let clip_stack =
+  app "ClipStack" [ act "ClipboardActivity" (rep 10 P_guarded @ [ P_mhb_lifecycle; P_safe ]) ]
+
+let kiss_launcher =
+  app "KissLauncher" ~padding:2
+    [
+      act "LauncherActivity"
+        (rep 41 P_guarded @ rep 22 P_mhb_lifecycle @ [ P_ma; P_ur; P_tt ] @ rep 6 P_fp_missing_hb);
+    ]
+
+let dash_clock =
+  app "DashClock"
+    [ act "ClockActivity" (rep 20 P_guarded @ rep 22 P_mhb_lifecycle @ [ P_ur; P_safe ]) ]
+
+let dns66 =
+  app "Dns66" ~services:1
+    [
+      act "VpnActivity"
+        (rep 26 P_guarded @ rep 22 P_mhb_lifecycle @ rep 5 P_fp_path @ [ P_fp_missing_hb; P_safe ]);
+    ]
+
+let clean_master =
+  app "CleanMaster" [ act "CleanActivity" (rep 15 P_guarded @ [ P_mhb_lifecycle ]) ]
+
+let omni_notes =
+  app "OmniNotes" ~padding:8
+    [
+      act "NotesListActivity"
+        (rep 92 P_guarded @ rep 65 P_mhb_lifecycle @ rep 63 P_intra_alloc @ rep 16 P_ma
+        @ rep 12 P_ur @ rep 6 P_tt @ rep 6 P_rhb @ rep 6 P_chb @ rep 12 P_phb @ rep 2 P_safe);
+      act "DetailActivity" (rep 41 P_guarded @ rep 22 P_mhb_lifecycle @ [ P_ma; P_safe ]);
+    ]
+
+let solitaire =
+  app "Solitaire"
+    [ act "SolitaireActivity" (rep 20 P_guarded @ [ P_fp_missing_hb; P_ma; P_ur; P_safe ]) ]
+
+let mms =
+  app "Mms" ~services:2 ~padding:10
+    [
+      act "ComposeMessageActivity"
+        (rep 76 P_guarded @ rep 54 P_mhb_lifecycle @ rep 42 P_intra_alloc @ rep 2 P_mhb_service
+        @ rep 16 P_ma @ rep 12 P_ur @ rep 6 P_tt @ rep 6 P_rhb @ rep 6 P_chb @ rep 12 P_phb
+        @ rep 10 P_fp_path @ rep 3 P_fp_missing_hb @ rep 2 P_safe);
+      act "ConversationListActivity"
+        (rep 51 P_guarded @ rep 32 P_mhb_lifecycle @ rep 42 P_intra_alloc @ rep 8 P_ma
+        @ rep 6 P_ur @ [ P_tt ] @ rep 5 P_fp_path @ rep 2 P_fp_missing_hb @ [ P_safe ]);
+    ]
+
+let mytracks2 =
+  app "MyTracks_2" ~services:1 ~padding:4
+    [
+      act "TrackListActivity2"
+        (rep 14 P_ec_pc_uaf @ rep 41 P_guarded @ rep 22 P_mhb_lifecycle @ [ P_ma; P_ur ]
+        @ rep 3 P_fp_path @ [ P_fp_missing_hb; P_safe ]);
+      act "StatsActivity2"
+        (rep 13 P_ec_pc_uaf @ rep 20 P_guarded @ rep 22 P_mhb_lifecycle
+        @ [ P_ma; P_ur; P_fp_path; P_fp_path; P_fp_missing_hb; P_safe ]);
+    ]
+
+let mi_manga_nu =
+  app "MiMangaNu" [ act "MangaActivity" (rep 10 P_guarded @ [ P_ur; P_safe ]) ]
+
+let qksms =
+  app "QKSMS" ~services:1 ~padding:4
+    [
+      act "QkComposeActivity"
+        (rep 10 P_ec_pc_uaf @ rep 61 P_guarded @ rep 43 P_mhb_lifecycle @ rep 8 P_ma
+        @ rep 6 P_ur @ [ P_tt ] @ rep 5 P_fp_path @ rep 4 P_fp_missing_hb @ [ P_safe ]);
+    ]
+
+let k9_mail =
+  app "K9Mail" ~services:2 ~padding:15
+    [
+      act "MessageListActivity"
+        (rep 71 P_guarded @ rep 43 P_mhb_lifecycle @ rep 42 P_intra_alloc @ rep 12 P_ma
+        @ rep 9 P_ur @ rep 6 P_tt @ [ P_rhb; P_chb; P_phb ] @ rep 8 P_fp_path
+        @ rep 3 P_fp_missing_hb @ [ P_safe ]);
+      act "MessageComposeActivity"
+        (rep 51 P_guarded @ rep 43 P_mhb_lifecycle @ rep 42 P_intra_alloc @ rep 12 P_ma
+        @ rep 9 P_ur @ [ P_tt; P_rhb; P_chb; P_phb ] @ rep 7 P_fp_path @ rep 3 P_fp_missing_hb);
+      act "FolderListActivity"
+        (rep 31 P_guarded @ rep 22 P_mhb_lifecycle @ [ P_ma; P_ur ] @ rep 5 P_fp_path
+        @ rep 2 P_fp_missing_hb @ [ P_safe ]);
+    ]
+
+(* In Table 1 order. *)
+let all : Spec.t list =
+  [
+    sound_recorder;
+    swiftnotes;
+    photo_affix;
+    ml_manager;
+    insta_material;
+    tomdroid;
+    sgt_puzzles;
+    aard;
+    clip_stack;
+    kiss_launcher;
+    dash_clock;
+    dns66;
+    clean_master;
+    omni_notes;
+    solitaire;
+    mms;
+    mytracks2;
+    mi_manga_nu;
+    qksms;
+    k9_mail;
+  ]

@@ -1,0 +1,906 @@
+(* The 7-app "train" group (Table 1, top): the applications CAFA studied,
+   which the paper used to design its unsound filters (§6.2).
+
+   Each app is a hand-written MiniAndroid core carrying the paper's named
+   bugs — ConnectBot's Fig 1(a)/(b), FireFox's Fig 1(c), the DEvA rows of
+   Table 3 (ToDoList's [db], Music's [mAdapter]/[mPlayer], MyTracks'
+   [binder]/[provUtils], Browser's Fragment case) — plus generated
+   pattern instances that scale the warning counts toward each row's
+   shape. Absolute counts are not reproducible from closed-source APKs;
+   ratios and who-filters-what are. *)
+
+open Spec
+
+let mk_spec app acts services padding : Spec.t =
+  { app_name = app; activities = acts; services; padding }
+
+(* Replicate a pattern n times. *)
+let rep n p = List.init n (fun _ -> p)
+
+(* ------------------------------------------------------------------ *)
+(* ToDoList — DEvA row: field [db], use in onActivityResult, free in the
+   "done" click handler which also finishes the activity: nAdroid
+   detects it and the CHB filter prunes it (Table 3 row 1). *)
+
+let todolist_hand =
+  {|
+class TodoDb {
+  field int entries;
+  method void open() { entries = 0; }
+  method void addEntry() { entries = entries + 1; }
+  method void close() { entries = 0; }
+}
+
+class ToDoActivity extends Activity {
+  field TodoDb db;
+
+  method void onCreate() {
+    db = new TodoDb();
+    db.open();
+    this.findViewById(900).setOnClickListener(new OnClickListener() {
+      // the "done" button: tears the activity down
+      method void onClick(View v) {
+        db.close();
+        db = null;
+        finish();
+      }
+    });
+  }
+
+  method void onActivityResult(int code) {
+    // DEvA flags this as harmful; the CHB relation with finish() makes
+    // it benign
+    db.addEntry();
+  }
+}
+|}
+
+let todolist =
+  let spec =
+    mk_spec "ToDoList"
+      [
+        {
+          act_name = "TodoListActivity";
+          patterns = rep 31 P_guarded @ rep 22 P_mhb_lifecycle @ rep 4 P_intra_alloc @ [ P_safe ];
+        };
+      ]
+      0 2
+  in
+  (todolist_hand, spec)
+
+(* ------------------------------------------------------------------ *)
+(* Zxing — barcode scanner; a couple of surviving flag-guarded false
+   positives, everything else soundly filtered. *)
+
+let zxing_hand =
+  {|
+// The classic zxing architecture: the capture activity owns a handler
+// that talks to a dedicated decode thread; results come back as
+// messages. All hand-written accesses are guarded or lifecycle-ordered.
+class ViewfinderState {
+  field int frames;
+  method void drawFrame() { frames = frames + 1; }
+  method void reset() { frames = 0; }
+}
+
+class DecodeState {
+  field int decoded;
+  field bool busy;
+  method void markBusy() { busy = true; }
+  method void markDone() { busy = false; decoded = decoded + 1; }
+}
+
+class CaptureActivity extends Activity {
+  field ViewfinderState viewfinder;
+  field DecodeState decodeState;
+  field Handler captureHandler;
+  field Executor decodePool;
+  field int resultCount;
+
+  method void onCreate() {
+    viewfinder = new ViewfinderState();
+    decodeState = new DecodeState();
+    decodePool = new Executor();
+    captureHandler = new Handler() {
+      method void handleMessage(Message m) {
+        // decode-succeeded message from the worker
+        if (decodeState != null) {
+          decodeState.markDone();
+          resultCount = resultCount + 1;
+        }
+      }
+    };
+  }
+
+  method void onResume() {
+    // restart preview; the viewfinder is re-allocated across pauses
+    viewfinder = new ViewfinderState();
+    viewfinder.drawFrame();
+  }
+
+  method void onPause() {
+    // quiesce the decode loop; the state object survives for onResume
+    if (decodeState != null) {
+      decodeState.markBusy();
+    }
+  }
+
+  method void requestDecode() {
+    decodeState.markBusy();
+    decodePool.execute(new Runnable() {
+      method void run() {
+        // worker: long-running decode, then notify the looper
+        sleep(5);
+        captureHandler.sendEmptyMessage(1);
+      }
+    });
+  }
+
+  method void onStart() {
+    this.findViewById(800).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) {
+        if (viewfinder != null) {
+          viewfinder.drawFrame();
+          requestDecode();
+        }
+      }
+    });
+  }
+
+  method void onDestroy() {
+    decodeState = null;
+    viewfinder = null;
+  }
+}
+|}
+
+let zxing =
+  let spec =
+    mk_spec "Zxing"
+      [
+        {
+          act_name = "ScanHistoryActivity";
+          patterns =
+            rep 71 P_guarded @ rep 43 P_mhb_lifecycle @ rep 42 P_intra_alloc
+            @ [ P_mhb_async; P_ur; P_fp_path; P_fp_path; P_safe; P_safe ];
+        };
+      ]
+      0 4
+  in
+  (zxing_hand, spec)
+
+(* ------------------------------------------------------------------ *)
+(* Music — the DEvA comparison's main subject: many [mAdapter] fields
+   used in onActivityResult / onRetainNonConfigurationInstance and freed
+   in onDestroy (pruned by MHB-Lifecycle), plus [mPlayer] freed in the
+   service's onDestroy. *)
+
+let music_hand =
+  {|
+class Cursor2 {
+  field int rows;
+  method void requery() { rows = rows + 1; }
+  method void deactivate() { rows = 0; }
+}
+
+class AlbumBrowserActivity extends Activity {
+  field Cursor2 mAdapter;
+  method void onCreate() { mAdapter = new Cursor2(); }
+  method void onActivityResult(int code) { mAdapter.requery(); }
+  method void onRetainNonConfigurationInstance() { mAdapter.requery(); }
+  method void onDestroy() { mAdapter.deactivate(); mAdapter = null; }
+}
+
+class TrackBrowserActivity extends Activity {
+  field Cursor2 mAdapter;
+  method void onCreate() { mAdapter = new Cursor2(); }
+  method void onActivityResult(int code) { mAdapter.requery(); }
+  method void onRetainNonConfigurationInstance() { mAdapter.requery(); }
+  method void onDestroy() { mAdapter = null; }
+}
+
+class QueryBrowserActivity extends Activity {
+  field Cursor2 mAdapter;
+  method void onCreate() { mAdapter = new Cursor2(); }
+  method void onActivityResult(int code) { mAdapter.requery(); }
+  method void onRetainNonConfigurationInstance() { mAdapter.requery(); }
+  method void onDestroy() { mAdapter = null; }
+}
+
+class MediaPlayer2 {
+  field int position;
+  method void setNext() { position = position + 1; }
+  method void release() { position = 0; }
+}
+
+class MediaPlaybackService extends Service {
+  field MediaPlayer2 mPlayer;
+  field PlayQueue queue;
+  field WakeLock wakeLock;
+
+  method void onCreate() {
+    mPlayer = new MediaPlayer2();
+    queue = new PlayQueue();
+    wakeLock = this.getPowerManager().newWakeLock("playback");
+  }
+  method void onStartCommand(Intent i) {
+    wakeLock.acquire();
+    this.setNextTrack();
+  }
+  method void setNextTrack() {
+    if (queue != null) {
+      queue.advance();
+    }
+    mPlayer.setNext();
+  }
+  method void onDestroy() {
+    wakeLock.release();
+    mPlayer.release();
+    mPlayer = null;
+    queue = null;
+  }
+}
+
+class PlayQueue {
+  field int position;
+  field int length;
+  method void advance() {
+    position = position + 1;
+    if (position >= length) {
+      position = 0;
+    }
+  }
+  method void enqueue() { length = length + 1; }
+  method bool isEmpty() { return length == 0; }
+}
+
+class AlbumArtCache {
+  field int hits;
+  field int misses;
+  method void record(bool hit) {
+    if (hit) {
+      hits = hits + 1;
+    } else {
+      misses = misses + 1;
+    }
+  }
+}
+
+class MediaPlaybackActivity extends Activity {
+  field PlayQueue nowPlaying;
+  field AlbumArtCache artCache;
+  field Handler refreshHandler;
+  field Executor artPool;
+  field int refreshTicks;
+
+  method void onCreate() {
+    nowPlaying = new PlayQueue();
+    artCache = new AlbumArtCache();
+    artPool = new Executor();
+    refreshHandler = new Handler() {
+      method void handleMessage(Message m) {
+        // periodic progress refresh; reschedules itself
+        refreshTicks = refreshTicks + 1;
+        if (refreshTicks < 100) {
+          refreshHandler.sendEmptyMessage(0);
+        }
+      }
+    };
+  }
+
+  method void onResume() {
+    refreshHandler.sendEmptyMessage(0);
+  }
+
+  method void onPause() {
+    // stop the refresh loop while invisible
+    refreshHandler.removeCallbacksAndMessages();
+  }
+
+  method void loadAlbumArt() {
+    artPool.execute(new Runnable() {
+      method void run() {
+        sleep(10);
+        if (artCache != null) {
+          artCache.record(false);
+        }
+      }
+    });
+  }
+
+  method void onStart() {
+    this.findViewById(810).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) {
+        if (nowPlaying != null) {
+          nowPlaying.enqueue();
+          loadAlbumArt();
+        }
+      }
+    });
+  }
+
+  method void onDestroy() {
+    nowPlaying = null;
+  }
+}
+
+class MediaButtonReceiver extends BroadcastReceiver {
+  field int presses;
+  method void onReceive(Intent i) {
+    presses = presses + 1;
+    log("media button " + i2s(presses));
+  }
+}
+|}
+
+let music =
+  let spec =
+    mk_spec "Music"
+      [
+        {
+          act_name = "MusicBrowserActivity";
+          patterns =
+            rep 112 P_guarded @ rep 65 P_mhb_lifecycle @ rep 63 P_intra_alloc @ rep 2 P_mhb_service
+            @ [ P_rhb; P_phb ] @ rep 12 P_ma @ rep 9 P_ur @ [ P_tt ] @ rep 3 P_fp_path
+            @ [ P_fp_missing_hb ] @ rep 2 P_safe;
+        };
+        {
+          act_name = "PlaylistBrowserActivity";
+          patterns = rep 51 P_guarded @ rep 22 P_mhb_lifecycle @ [ P_ma; P_ur; P_fp_path; P_safe ];
+        };
+      ]
+      1 8
+  in
+  (music_hand, spec)
+
+(* ------------------------------------------------------------------ *)
+(* MyTracks (version 1) — service binder pattern (Table 3: [binder]
+   onBind / onDestroy, MHB-filtered; [provUtils] reported harmful), and a
+   large population of C-RT bugs from recording threads. *)
+
+let mytracks1_hand =
+  {|
+class ProviderUtils {
+  field int pending;
+  method void insertPoint() { pending = pending + 1; }
+  method void flush() { pending = 0; }
+}
+
+class TrackRecordingService extends Service {
+  field Binder binder;
+  field ProviderUtils provUtils;
+
+  method void onCreate() {
+    binder = new Binder();
+    provUtils = new ProviderUtils();
+  }
+  method Binder onBind(Intent i) { return binder; }
+  method void onStartCommand(Intent i) {
+    // location updates arrive on a registered listener and are written
+    // through provUtils from an async recording path
+    this.getLocationManager().requestLocationUpdates(new LocationListener() {
+      method void onLocationChanged(Location loc) {
+        new AsyncTask() {
+          method void onPreExecute() { log("record"); }
+          method void doInBackground() { provUtils.insertPoint(); }
+          method void onPostExecute() { log("recorded"); }
+        }.execute();
+      }
+    });
+  }
+  method void onDestroy() {
+    binder = null;
+    provUtils.flush();
+    provUtils = null;
+  }
+}
+
+class TripStatistics {
+  field int distance;
+  field int movingTime;
+  method void addPoint(int delta) {
+    distance = distance + delta;
+    movingTime = movingTime + 1;
+  }
+  method int averageSpeed() {
+    if (movingTime == 0) {
+      return 0;
+    }
+    return distance / movingTime;
+  }
+}
+
+class GpsState {
+  field int fixes;
+  field bool hasSignal;
+  method void onFix() { fixes = fixes + 1; hasSignal = true; }
+  method void onLost() { hasSignal = false; }
+}
+
+class StatsActivity extends Activity {
+  field TripStatistics stats;
+  field GpsState gps;
+  field Handler statsHandler;
+
+  method void onCreate() {
+    stats = new TripStatistics();
+    gps = new GpsState();
+    statsHandler = new Handler() {
+      method void handleMessage(Message m) {
+        if (stats != null) {
+          log("avg " + i2s(stats.averageSpeed()));
+        }
+      }
+    };
+    this.getLocationManager().requestLocationUpdates(new LocationListener() {
+      method void onLocationChanged(Location loc) {
+        if (gps != null) {
+          gps.onFix();
+        }
+        if (stats != null) {
+          stats.addPoint(3);
+        }
+        statsHandler.sendEmptyMessage(0);
+      }
+    });
+  }
+
+  method void onDestroy() {
+    statsHandler.removeCallbacksAndMessages();
+    stats = null;
+    gps = null;
+  }
+}
+|}
+
+let mytracks1 =
+  let spec =
+    mk_spec "MyTracks_1"
+      [
+        {
+          act_name = "TrackListActivity";
+          patterns =
+            [ P_ec_pc_uaf; P_pc_pc_uaf; P_pc_pc_uaf ]
+            @ rep 13 P_c_rt_uaf @ rep 82 P_guarded @ rep 43 P_mhb_lifecycle @ rep 42 P_intra_alloc
+            @ [ P_rhb; P_chb; P_phb ] @ rep 8 P_ma @ rep 6 P_ur @ [ P_tt ] @ rep 5 P_fp_path
+            @ rep 2 P_fp_missing_hb @ rep 2 P_safe;
+        };
+        {
+          act_name = "TrackDetailActivity";
+          patterns =
+            rep 12 P_c_rt_uaf @ rep 51 P_guarded @ rep 22 P_mhb_lifecycle
+            @ rep 4 P_intra_alloc @ [ P_ma; P_ur; P_fp_path; P_safe ];
+        };
+      ]
+      0 6
+  in
+  (mytracks1_hand, spec)
+
+(* ------------------------------------------------------------------ *)
+(* Browser — everything filtered; the one DEvA-reported bug lives in a
+   Fragment-style class our model (like nAdroid's prototype, §8.1) does
+   not cover: it is DEvA-visible but nAdroid-invisible (Table 3 last
+   row). *)
+
+let browser_hand =
+  {|
+class WebViewController {
+  field int pageCount;
+  method void loadPage() { pageCount = pageCount + 1; }
+  method void stop() { pageCount = 0; }
+}
+
+// Fragment-like class: callbacks named like lifecycle methods but not a
+// modeled component — nAdroid's frontend does not track Fragments.
+class AccessPrefFragment {
+  field WebViewController mCtrlWV;
+  method void onResume() { mCtrlWV.loadPage(); }
+  method void onDestroy() { mCtrlWV = null; }
+}
+
+class Tab {
+  field WebViewController controller;
+  field bool foreground;
+  method void init(WebViewController c) {
+    controller = c;
+    foreground = false;
+  }
+  method void show() { foreground = true; }
+  method void hide() { foreground = false; }
+}
+
+class TabControl {
+  field Tab current;
+  field int count;
+  method Tab openTab() {
+    var Tab t = new Tab(new WebViewController());
+    count = count + 1;
+    current = t;
+    return t;
+  }
+  method void closeCurrent() {
+    if (count > 0) {
+      count = count - 1;
+    }
+    current = null;
+  }
+}
+
+class DownloadReceiver extends BroadcastReceiver {
+  field int completed;
+  method void onReceive(Intent i) {
+    completed = completed + 1;
+    log("download " + i2s(completed));
+  }
+}
+
+class PhoneBrowserActivity extends Activity {
+  field TabControl tabs;
+  field Handler uiHandler;
+  field int pageLoads;
+
+  method void onCreate() {
+    tabs = new TabControl();
+    uiHandler = new Handler() {
+      method void handleMessage(Message m) {
+        // progress update from the render path
+        pageLoads = pageLoads + 1;
+      }
+    };
+    this.registerReceiver(new BroadcastReceiver() {
+      method void onReceive(Intent i) {
+        // connectivity change: reload the foreground tab if any
+        if (tabs != null) {
+          var Tab t = tabs.openTab();
+          t.show();
+        }
+      }
+    });
+  }
+
+  method void onStart() {
+    this.findViewById(820).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) {
+        if (tabs != null) {
+          var Tab t = tabs.openTab();
+          t.show();
+          uiHandler.sendEmptyMessage(0);
+        }
+      }
+    });
+    this.findViewById(821).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) {
+        if (tabs != null) {
+          tabs.closeCurrent();
+        }
+      }
+    });
+  }
+
+  method void onDestroy() {
+    tabs = null;
+  }
+}
+|}
+
+let browser =
+  let spec =
+    mk_spec "Browser"
+      [
+        {
+          act_name = "BrowserActivity";
+          patterns =
+            rep 153 P_guarded @ rep 86 P_mhb_lifecycle @ rep 84 P_intra_alloc @ rep 2 P_mhb_service
+            @ rep 2 P_mhb_async @ rep 6 P_rhb @ rep 6 P_chb @ rep 12 P_phb @ rep 16 P_ma
+            @ rep 12 P_ur @ rep 6 P_tt @ rep 3 P_safe;
+        };
+        {
+          act_name = "TabControlActivity";
+          patterns = rep 61 P_guarded @ rep 32 P_mhb_lifecycle @ rep 4 P_intra_alloc @ [ P_ur; P_safe ];
+        };
+      ]
+      0 10
+  in
+  (browser_hand, spec)
+
+(* ------------------------------------------------------------------ *)
+(* ConnectBot — Fig 1(a) and Fig 1(b) verbatim: the single-looper UAFs
+   between service-connection callbacks, UI callbacks, and a posted
+   Runnable. CAFA reported no callback-callback races here; nAdroid
+   found 13 (§2.3). *)
+
+let connectbot_hand =
+  {|
+class TerminalManager {
+  field int sessions;
+  method void openSession() { sessions = sessions + 1; }
+  method void closeSessions() { sessions = 0; }
+}
+
+class HostBridge {
+  field int rows;
+  method void redraw() { rows = rows + 1; }
+}
+
+class ConsoleActivity extends Activity {
+  field TerminalManager bound;
+  field HostBridge hostBridge;
+  field Handler promptHandler;
+
+  method void onCreate() {
+    promptHandler = new Handler() {
+      method void handleMessage(Message m) { log("prompt"); }
+    };
+    this.bindService(new ServiceConnection() {
+      method void onServiceConnected(Binder b) {
+        bound = new TerminalManager();
+        hostBridge = new HostBridge();
+      }
+      method void onServiceDisconnected() {
+        bound = null;
+        hostBridge = null;
+      }
+    });
+  }
+
+  // Fig 1(a): bound is used without ensuring the service is connected;
+  // onServiceDisconnected before onCreateContextMenu crashes.
+  method void onCreateContextMenu() {
+    bound.openSession();
+  }
+
+  method void onStart() {
+    // Fig 1(b): the click checks hostBridge != null, then posts a
+    // Runnable that dereferences it later, asynchronously.
+    this.findViewById(1).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) {
+        if (hostBridge != null) {
+          promptHandler.post(new Runnable() {
+            method void run() { hostBridge.redraw(); }
+          });
+        }
+      }
+    });
+  }
+}
+
+class HostDatabase {
+  field int hosts;
+  method void addHost() { hosts = hosts + 1; }
+  method int countHosts() { return hosts; }
+  method void close() { hosts = 0; }
+}
+
+class PubkeyMemory {
+  field int keysLoaded;
+  field bool locked;
+  method void unlock() { locked = false; keysLoaded = keysLoaded + 1; }
+  method void lock() { locked = true; }
+}
+
+class PubkeyService extends Service {
+  field PubkeyMemory memory;
+  method void onCreate() { memory = new PubkeyMemory(); }
+  method void onStartCommand(Intent i) {
+    if (memory != null) {
+      memory.unlock();
+    }
+  }
+  method void onDestroy() {
+    memory.lock();
+    memory = null;
+  }
+}
+
+class PortForwardManager {
+  field int active;
+  field Data forwardLock;
+  method void init(Data l) { forwardLock = l; }
+  method void open() {
+    synchronized (forwardLock) { active = active + 1; }
+  }
+  method void closeAll() {
+    synchronized (forwardLock) { active = 0; }
+  }
+}
+
+class HostEditorActivity extends Activity {
+  field HostDatabase hostDb;
+  field PortForwardManager forwards;
+  field Data fwdLock;
+  field int edits;
+
+  method void onCreate() {
+    hostDb = new HostDatabase();
+    fwdLock = new Data();
+    forwards = new PortForwardManager(fwdLock);
+  }
+
+  method void onStart() {
+    this.findViewById(840).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) {
+        if (hostDb != null) {
+          hostDb.addHost();
+          edits = edits + 1;
+        }
+      }
+    });
+    this.findViewById(841).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) {
+        // port forwards are toggled off a worker, under the shared lock
+        new Thread(new Runnable() {
+          method void run() {
+            if (forwards != null) {
+              forwards.open();
+            }
+          }
+        }).start();
+      }
+    });
+  }
+
+  method void onPause() {
+    if (forwards != null) {
+      forwards.closeAll();
+    }
+  }
+
+  method void onDestroy() {
+    hostDb.close();
+    hostDb = null;
+  }
+}
+|}
+
+let connectbot =
+  let spec =
+    mk_spec "ConnectBot"
+      [
+        {
+          act_name = "HostListActivity";
+          patterns =
+            rep 11 P_ec_pc_uaf @ rep 46 P_guarded @ rep 32 P_mhb_lifecycle
+            @ rep 4 P_intra_alloc @ [ P_mhb_service; P_phb; P_ma; P_ur; P_safe ];
+        };
+      ]
+      1 6
+  in
+  (connectbot_hand, spec)
+
+(* ------------------------------------------------------------------ *)
+(* FireFox — Fig 1(c) verbatim: onResume submits a Runnable to a pool
+   thread that nulls jClient; onPause's if-guard is not atomic with the
+   use, so the C-NT race is real. *)
+
+let firefox_hand =
+  {|
+class JavaClient {
+  field int refs;
+  method void abort() { refs = 0; }
+}
+
+class GeckoApp extends Activity {
+  field JavaClient jClient;
+  field Executor threadPool;
+
+  method void onCreate() {
+    threadPool = new Executor();
+    jClient = new JavaClient();
+  }
+
+  method void onResume() {
+    threadPool.execute(new Runnable() {
+      method void run() {
+        jClient = null;
+      }
+    });
+  }
+
+  method void onPause() {
+    // guarded, but the pool thread can interleave between check and use
+    if (jClient != null) {
+      jClient.abort();
+    }
+  }
+}
+
+class SessionStore {
+  field int tabsSaved;
+  field bool dirty;
+  method void markDirty() { dirty = true; }
+  method void flush() {
+    if (dirty) {
+      tabsSaved = tabsSaved + 1;
+      dirty = false;
+    }
+  }
+}
+
+class TelemetryPing {
+  field int events;
+  method void record() { events = events + 1; }
+}
+
+class GeckoSessionActivity extends Activity {
+  field SessionStore store;
+  field TelemetryPing telemetry;
+  field Executor ioPool;
+  field Data storeLock;
+
+  method void onCreate() {
+    store = new SessionStore();
+    telemetry = new TelemetryPing();
+    ioPool = new Executor();
+    storeLock = new Data();
+  }
+
+  method void onPause() {
+    // flush the session asynchronously, under the store lock: the
+    // guarded cross-thread accesses below are lock-protected and the
+    // IG filter keeps them quiet
+    ioPool.execute(new Runnable() {
+      method void run() {
+        synchronized (storeLock) {
+          if (store != null) {
+            store.flush();
+          }
+        }
+      }
+    });
+  }
+
+  method void onStart() {
+    this.findViewById(830).setOnClickListener(new OnClickListener() {
+      method void onClick(View v) {
+        synchronized (storeLock) {
+          if (store != null) {
+            store.markDirty();
+          }
+        }
+        telemetry.record();
+      }
+    });
+  }
+
+  method void onDestroy() {
+    synchronized (storeLock) {
+      store = null;
+    }
+    telemetry = null;
+  }
+}
+|}
+
+let firefox =
+  let spec =
+    mk_spec "FireFox"
+      [
+        {
+          act_name = "GeckoPreferencesActivity";
+          patterns =
+            rep 133 P_guarded @ rep 65 P_mhb_lifecycle @ rep 63 P_intra_alloc @ rep 2 P_mhb_async
+            @ [ P_rhb; P_chb ] @ rep 12 P_phb @ rep 12 P_ma @ rep 9 P_ur @ rep 6 P_tt
+            @ rep 12 P_fp_path @ rep 3 P_fp_missing_hb @ rep 2 P_safe;
+        };
+        {
+          act_name = "GeckoTabsActivity";
+          patterns =
+            rep 71 P_guarded @ rep 32 P_mhb_lifecycle @ rep 6 P_fp_path @ [ P_ur; P_safe ];
+        };
+      ]
+      1 12
+  in
+  (firefox_hand, spec)
+
+(* ------------------------------------------------------------------ *)
+
+let all : (string * (string * Spec.t)) list =
+  [
+    ("ToDoList", todolist);
+    ("Zxing", zxing);
+    ("Music", music);
+    ("MyTracks_1", mytracks1);
+    ("Browser", browser);
+    ("ConnectBot", connectbot);
+    ("FireFox", firefox);
+  ]

@@ -1,0 +1,436 @@
+(* MiniAndroid source generator.
+
+   Expands a {!Spec.t} into compilable MiniAndroid source. Each pattern
+   instance gets its own field [fN] (plus helpers [hN], [exN], view id N)
+   so instances never interfere; per-activity lifecycle bodies are merged
+   from the fragments every pattern contributes. The generator also
+   returns the seeded ground truth used by the Table 1 false-positive
+   attribution and the Table 2 injection study. *)
+
+type frag = {
+  fields : string list;
+  on_create : string list;
+  on_start : string list;
+  on_resume : string list;
+  on_pause : string list;
+  on_destroy : string list;
+  methods : string list;  (** whole member declarations *)
+  top_classes : string list;  (** extra top-level classes *)
+}
+
+let empty_frag =
+  {
+    fields = [];
+    on_create = [];
+    on_start = [];
+    on_resume = [];
+    on_pause = [];
+    on_destroy = [];
+    methods = [];
+    top_classes = [];
+  }
+
+let merge a b =
+  {
+    fields = a.fields @ b.fields;
+    on_create = a.on_create @ b.on_create;
+    on_start = a.on_start @ b.on_start;
+    on_resume = a.on_resume @ b.on_resume;
+    on_pause = a.on_pause @ b.on_pause;
+    on_destroy = a.on_destroy @ b.on_destroy;
+    methods = a.methods @ b.methods;
+    top_classes = a.top_classes @ b.top_classes;
+  }
+
+(* A click listener on a fresh view, registered in onStart. *)
+let click_listener ~view ~body =
+  Printf.sprintf
+    "this.findViewById(%d).setOnClickListener(new OnClickListener() { method void \
+     onClick(View v) { %s } });"
+    view body
+
+(* A service connection binding, registered in onCreate. *)
+let service_conn ~connected ~disconnected =
+  Printf.sprintf
+    "this.bindService(new ServiceConnection() { method void onServiceConnected(Binder b) { %s \
+     } method void onServiceDisconnected() { %s } });"
+    connected disconnected
+
+let expand ~act (p : Spec.pattern) ~(i : int) : frag =
+  let f = Printf.sprintf "f%d" i in
+  let fd = Printf.sprintf "field Data %s;" f in
+  match p with
+  | Spec.P_ec_pc_uaf ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create = [ service_conn ~connected:(f ^ " = new Data();") ~disconnected:(f ^ " = null;") ];
+        on_start = [ click_listener ~view:i ~body:(f ^ ".use();") ];
+      }
+  | Spec.P_pc_pc_uaf ->
+      let h = Printf.sprintf "h%d" i in
+      {
+        empty_frag with
+        fields = [ fd; Printf.sprintf "field Handler %s;" h ];
+        on_create =
+          [
+            Printf.sprintf
+              "%s = new Handler() { method void handleMessage(Message m) { log(\"%s\"); } };" h h;
+            service_conn ~connected:(f ^ " = new Data();") ~disconnected:(f ^ " = null;");
+          ];
+        on_start =
+          [
+            click_listener ~view:i
+              ~body:
+                (Printf.sprintf
+                   "if (%s != null) { %s.post(new Runnable() { method void run() { %s.use(); } \
+                    }); }"
+                   f h f);
+          ];
+      }
+  | Spec.P_c_nt_uaf ->
+      (* worker in a separate top-level class: invisible to DEvA *)
+      let worker = Printf.sprintf "%sWorker%d" act i in
+      let ex = Printf.sprintf "ex%d" i in
+      {
+        empty_frag with
+        fields = [ fd; Printf.sprintf "field Executor %s;" ex ];
+        on_create = [ Printf.sprintf "%s = new Executor();" ex; f ^ " = new Data();" ];
+        on_resume = [ Printf.sprintf "%s.execute(new %s(this));" ex worker ];
+        on_start =
+          [ click_listener ~view:i ~body:(Printf.sprintf "if (%s != null) { %s.use(); }" f f) ];
+        top_classes =
+          [
+            Printf.sprintf
+              "class %s extends Runnable {\n  field %s owner;\n  method void init(%s o) { owner \
+               = o; }\n  method void run() { owner.%s = null; }\n}"
+              worker act act f;
+          ];
+      }
+  | Spec.P_c_rt_uaf ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create = [ f ^ " = new Data();" ];
+        on_start =
+          [
+            click_listener ~view:i
+              ~body:
+                (Printf.sprintf
+                   "new Thread(new Runnable() { method void run() { %s = null; } }).start(); \
+                    %s.use();"
+                   f f);
+          ];
+      }
+  | Spec.P_ec_ec_uaf ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create = [ f ^ " = new Data();" ];
+        on_start =
+          [
+            click_listener ~view:(2 * i) ~body:(f ^ ".use();");
+            click_listener ~view:((2 * i) + 1) ~body:(f ^ " = null;");
+          ];
+      }
+  | Spec.P_guarded ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create = [ service_conn ~connected:(f ^ " = new Data();") ~disconnected:(f ^ " = null;") ];
+        on_start =
+          [ click_listener ~view:i ~body:(Printf.sprintf "if (%s != null) { %s.use(); }" f f) ];
+      }
+  | Spec.P_guarded_locked ->
+      let lock = Printf.sprintf "lock%d" i in
+      {
+        empty_frag with
+        fields = [ fd; Printf.sprintf "field Data %s;" lock ];
+        on_create = [ Printf.sprintf "%s = new Data();" lock; f ^ " = new Data();" ];
+        on_resume =
+          [
+            Printf.sprintf
+              "new Thread(new Runnable() { method void run() { synchronized (%s) { %s = null; } \
+               } }).start();"
+              lock f;
+          ];
+        on_start =
+          [
+            click_listener ~view:i
+              ~body:
+                (Printf.sprintf "synchronized (%s) { if (%s != null) { %s.use(); } }" lock f f);
+          ];
+      }
+  | Spec.P_intra_alloc ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_start =
+          [
+            click_listener ~view:(2 * i) ~body:(Printf.sprintf "%s = new Data(); %s.use();" f f);
+            click_listener ~view:((2 * i) + 1) ~body:(f ^ " = null;");
+          ];
+      }
+  | Spec.P_mhb_service ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create =
+          [
+            service_conn
+              ~connected:(Printf.sprintf "%s = new Data(); %s.use();" f f)
+              ~disconnected:(f ^ " = null;");
+          ];
+      }
+  | Spec.P_mhb_lifecycle ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create = [ f ^ " = new Data();" ];
+        on_destroy = [ f ^ " = null;" ];
+        on_start = [ click_listener ~view:i ~body:(f ^ ".use();") ];
+      }
+  | Spec.P_mhb_async ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create = [ f ^ " = new Data();" ];
+        on_start =
+          [
+            click_listener ~view:i
+              ~body:
+                (Printf.sprintf
+                   "new AsyncTask() { method void onPreExecute() { %s.use(); } method void \
+                    doInBackground() { log(\"bg%d\"); } method void onPostExecute() { %s = \
+                    null; } }.execute();"
+                   f i f);
+          ];
+      }
+  | Spec.P_rhb ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_resume = [ f ^ " = new Data();" ];
+        on_pause = [ f ^ " = null;" ];
+        on_start = [ click_listener ~view:i ~body:(f ^ ".use();") ];
+      }
+  | Spec.P_chb ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create = [ f ^ " = new Data();" ];
+        on_start =
+          [
+            click_listener ~view:(2 * i) ~body:(Printf.sprintf "%s = null; finish();" f);
+            click_listener ~view:((2 * i) + 1) ~body:(f ^ ".use();");
+          ];
+      }
+  | Spec.P_phb ->
+      let h = Printf.sprintf "h%d" i in
+      {
+        empty_frag with
+        fields = [ fd; Printf.sprintf "field Handler %s;" h ];
+        on_create =
+          [
+            f ^ " = new Data();";
+            Printf.sprintf
+              "%s = new Handler() { method void handleMessage(Message m) { %s = null; } };" h f;
+          ];
+        on_start =
+          [
+            click_listener ~view:i
+              ~body:(Printf.sprintf "%s.use(); %s.sendEmptyMessage(0);" f h);
+          ];
+      }
+  | Spec.P_ma ->
+      let mk = Printf.sprintf "mk%d" i in
+      {
+        empty_frag with
+        fields = [ fd ];
+        methods = [ Printf.sprintf "method Data %s() { return new Data(); }" mk ];
+        on_create = [ service_conn ~connected:"log(\"c\");" ~disconnected:(f ^ " = null;") ];
+        on_start =
+          [ click_listener ~view:i ~body:(Printf.sprintf "%s = %s(); %s.use();" f mk f) ];
+      }
+  | Spec.P_ur ->
+      let peek = Printf.sprintf "peek%d" i in
+      {
+        empty_frag with
+        fields = [ fd ];
+        methods = [ Printf.sprintf "method Data %s() { return %s; }" peek f ];
+        on_create = [ f ^ " = new Data();" ];
+        on_start =
+          [
+            click_listener ~view:(2 * i)
+              ~body:(Printf.sprintf "if (%s() != null) { log(\"ok%d\"); }" peek i);
+            click_listener ~view:((2 * i) + 1) ~body:(f ^ " = null;");
+          ];
+      }
+  | Spec.P_tt ->
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create = [ f ^ " = new Data();" ];
+        on_resume =
+          [
+            Printf.sprintf
+              "new Thread(new Runnable() { method void run() { %s = null; } }).start();" f;
+            Printf.sprintf
+              "new Thread(new Runnable() { method void run() { if (%s != null) { %s.use(); } } \
+               }).start();"
+              f f;
+          ];
+      }
+  | Spec.P_fp_path ->
+      let ready = Printf.sprintf "ready%d" i in
+      {
+        empty_frag with
+        fields = [ fd; Printf.sprintf "field bool %s;" ready ];
+        on_create =
+          [
+            service_conn
+              ~connected:(Printf.sprintf "%s = new Data(); %s = true;" f ready)
+              ~disconnected:(Printf.sprintf "%s = false; %s = null;" ready f);
+          ];
+        on_start =
+          [ click_listener ~view:i ~body:(Printf.sprintf "if (%s) { %s.use(); }" ready f) ];
+      }
+  | Spec.P_fp_missing_hb ->
+      let btn = Printf.sprintf "btn%d" i in
+      {
+        empty_frag with
+        fields = [ fd; Printf.sprintf "field View %s;" btn ];
+        on_create = [ f ^ " = new Data();" ];
+        on_start =
+          [
+            Printf.sprintf
+              "%s = this.findViewById(%d); %s.setOnClickListener(new OnClickListener() { \
+               method void onClick(View v) { %s.use(); } });"
+              btn (2 * i) btn f;
+            click_listener ~view:((2 * i) + 1)
+              ~body:(Printf.sprintf "%s.setEnabled(false); %s = null;" btn f);
+          ];
+      }
+  | Spec.P_inj_unmodeled ->
+      let frag = Printf.sprintf "%sFrag%d" act i in
+      {
+        empty_frag with
+        fields = [ fd ];
+        on_create =
+          [ f ^ " = new Data();"; Printf.sprintf "var %s fr%d = new %s(this);" frag i frag ];
+        on_start = [ click_listener ~view:i ~body:(f ^ " = null;") ];
+        top_classes =
+          [
+            Printf.sprintf
+              "class %s {\n  field %s owner;\n  method void init(%s o) { owner = o; }\n  // \
+               fragment-style callback: invoked by a framework facility the\n  // model does \
+               not cover, so statically unreachable\n  method void onOverlayDraw() { \
+               owner.%s.use(); }\n}"
+              frag act act f;
+          ];
+      }
+  | Spec.P_chb_error_path ->
+      let c = Printf.sprintf "errs%d" i in
+      {
+        empty_frag with
+        fields = [ fd; Printf.sprintf "field int %s;" c ];
+        on_create = [ f ^ " = new Data();" ];
+        on_start =
+          [
+            click_listener ~view:(2 * i)
+              ~body:
+                (Printf.sprintf "if (%s > 9000) { finish(); } %s = null;" c f);
+            click_listener ~view:((2 * i) + 1) ~body:(f ^ ".use();");
+          ];
+      }
+  | Spec.P_safe ->
+      let c = Printf.sprintf "count%d" i in
+      let s = Printf.sprintf "s%d" i in
+      {
+        empty_frag with
+        fields = [ Printf.sprintf "field int %s;" c; Printf.sprintf "field Data %s;" s ];
+        on_create = [ Printf.sprintf "%s = new Data();" s ];
+        on_start =
+          [
+            click_listener ~view:i
+              ~body:
+                (Printf.sprintf "%s = %s + 1; if (%s != null) { %s.use(); }" c c s s);
+          ];
+      }
+
+let indent n s =
+  let pad = String.make n ' ' in
+  String.concat "\n" (List.map (fun l -> if l = "" then l else pad ^ l) (String.split_on_char '\n' s))
+
+let method_of name stmts =
+  match stmts with
+  | [] -> None
+  | _ :: _ ->
+      Some
+        (Printf.sprintf "method void %s() {\n%s\n}" name
+           (String.concat "\n" (List.map (indent 2) stmts)))
+
+let gen_activity (a : Spec.activity_spec) : string list * Spec.seeded list =
+  let frags = List.mapi (fun i p -> (i, p, expand ~act:a.Spec.act_name p ~i)) a.Spec.patterns in
+  let all = List.fold_left (fun acc (_, _, fr) -> merge acc fr) empty_frag frags in
+  let members =
+    List.map (fun f -> f) all.fields
+    @ List.filter_map
+        (fun (name, stmts) -> method_of name stmts)
+        [
+          ("onCreate", all.on_create);
+          ("onStart", all.on_start);
+          ("onResume", all.on_resume);
+          ("onPause", all.on_pause);
+          ("onDestroy", all.on_destroy);
+        ]
+    @ all.methods
+  in
+  let cls =
+    Printf.sprintf "class %s extends Activity {\n%s\n}" a.Spec.act_name
+      (String.concat "\n" (List.map (indent 2) members))
+  in
+  let seeded =
+    List.map
+      (fun (i, p, _) ->
+        {
+          Spec.sd_app = "";
+          sd_activity = a.Spec.act_name;
+          sd_pattern = p;
+          sd_field = Printf.sprintf "f%d" i;
+          sd_expect = Spec.expectation p;
+        })
+      frags
+  in
+  (cls :: all.top_classes, seeded)
+
+let data_class =
+  "class Data {\n  field int n;\n  method void use() { n = n + 1; }\n  method void abort() { n \
+   = 0; }\n}"
+
+let padding_class j =
+  Printf.sprintf
+    "class Util%d {\n  field int acc;\n  method int twice(int x) { return x + x; }\n  method \
+     int saturate(int x) {\n    if (x > 100) {\n      return 100;\n    }\n    return x;\n  }\n  \
+     method void bump(int d) { acc = acc + this.saturate(d); }\n}"
+    j
+
+let service_class j =
+  Printf.sprintf
+    "class BgService%d extends Service {\n  field int starts;\n  method void onCreate() { \
+     starts = 0; }\n  method void onStartCommand(Intent i) { starts = starts + 1; }\n  method \
+     void onDestroy() { log(\"svc%d done\"); }\n}"
+    j j
+
+let generate (spec : Spec.t) : string * Spec.seeded list =
+  let per_act = List.map gen_activity spec.Spec.activities in
+  let classes =
+    [ data_class ]
+    @ List.concat_map fst per_act
+    @ List.init spec.Spec.services service_class
+    @ List.init spec.Spec.padding padding_class
+  in
+  let seeded =
+    List.concat_map (fun (_, s) -> List.map (fun sd -> { sd with Spec.sd_app = spec.Spec.app_name }) s) per_act
+  in
+  (String.concat "\n\n" classes ^ "\n", seeded)

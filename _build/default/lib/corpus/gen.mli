@@ -1,0 +1,10 @@
+(** MiniAndroid source generator: expands a {!Spec.t} into compilable
+    source plus the seeded ground truth used by the Table 1
+    false-positive attribution and the Table 2 injection study.
+
+    Every pattern instance owns its field [fN] (plus helpers and a view
+    id) so instances never interfere; per-activity lifecycle bodies are
+    merged from the fragments each pattern contributes. Generation is
+    deterministic. *)
+
+val generate : Spec.t -> string * Spec.seeded list

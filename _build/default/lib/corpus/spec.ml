@@ -1,0 +1,150 @@
+(* Bug / idiom patterns seeded into generated corpus apps.
+
+   Each pattern is a self-contained code idiom instantiated on its own
+   field [fN]; the generator ({!Gen}) expands it into fields, lifecycle
+   fragments, listeners and helper classes. Every pattern carries a
+   ground-truth expectation: whether nAdroid should report it as a true
+   harmful UAF (and of which origin category), prune it (and with which
+   filter), or report a false positive (and from which §8.5 source). *)
+
+type pattern =
+  (* true harmful UAFs *)
+  | P_ec_pc_uaf  (** Fig 1(a): service disconnect frees, UI callback uses *)
+  | P_pc_pc_uaf  (** Fig 1(b): posted runnable uses, disconnect frees *)
+  | P_c_nt_uaf  (** Fig 1(c): separate worker class on a pool thread vs looper *)
+  | P_c_rt_uaf  (** thread spawned by the racing callback itself *)
+  | P_ec_ec_uaf  (** unguarded use in one UI callback, free in another *)
+  (* soundly filtered idioms *)
+  | P_guarded  (** IG: null-check inside an atomic callback *)
+  | P_guarded_locked  (** IG across threads, protected by a common lock *)
+  | P_intra_alloc  (** IA: allocation before use in the same callback *)
+  | P_mhb_service  (** MHB-Service: use in onServiceConnected, free in onServiceDisconnected *)
+  | P_mhb_lifecycle  (** MHB-Lifecycle: free in onDestroy *)
+  | P_mhb_async  (** MHB-AsyncTask: use in onPreExecute, free in onPostExecute *)
+  (* unsoundly filtered idioms *)
+  | P_rhb  (** onResume restores the field freed in onPause *)
+  | P_chb  (** canceller calls finish() before freeing *)
+  | P_phb  (** use happens before posting the freeing handler message *)
+  | P_ma  (** getter-allocation before use *)
+  | P_ur  (** use flows only to a return *)
+  | P_tt  (** both accesses on native threads *)
+  (* surviving false positives, by §8.5 source *)
+  | P_fp_path  (** high-level boolean flag keeps the path infeasible *)
+  | P_fp_missing_hb  (** one callback disables the other's button *)
+  (* injection-study patterns (Table 2) *)
+  | P_inj_unmodeled
+      (** the use sits in a fragment-like callback outside the modeled API
+          surface: nAdroid's call graph never reaches it (§8.6's
+          framework-mediated misses) *)
+  | P_chb_error_path
+      (** real UAF whose freeing callback calls finish() only on an
+          unreachable error path: the may-analysis CHB filter wrongly
+          prunes it (§8.6) *)
+  (* inert padding *)
+  | P_safe  (** allocations, guarded atomic uses, primitive churn *)
+
+let all_patterns =
+  [
+    P_ec_pc_uaf;
+    P_pc_pc_uaf;
+    P_c_nt_uaf;
+    P_c_rt_uaf;
+    P_ec_ec_uaf;
+    P_guarded;
+    P_guarded_locked;
+    P_intra_alloc;
+    P_mhb_service;
+    P_mhb_lifecycle;
+    P_mhb_async;
+    P_rhb;
+    P_chb;
+    P_phb;
+    P_ma;
+    P_ur;
+    P_tt;
+    P_fp_path;
+    P_fp_missing_hb;
+    P_inj_unmodeled;
+    P_chb_error_path;
+    P_safe;
+  ]
+
+let pattern_to_string = function
+  | P_ec_pc_uaf -> "ec-pc-uaf"
+  | P_pc_pc_uaf -> "pc-pc-uaf"
+  | P_c_nt_uaf -> "c-nt-uaf"
+  | P_c_rt_uaf -> "c-rt-uaf"
+  | P_ec_ec_uaf -> "ec-ec-uaf"
+  | P_guarded -> "guarded"
+  | P_guarded_locked -> "guarded-locked"
+  | P_intra_alloc -> "intra-alloc"
+  | P_mhb_service -> "mhb-service"
+  | P_mhb_lifecycle -> "mhb-lifecycle"
+  | P_mhb_async -> "mhb-async"
+  | P_rhb -> "rhb"
+  | P_chb -> "chb"
+  | P_phb -> "phb"
+  | P_ma -> "ma"
+  | P_ur -> "ur"
+  | P_tt -> "tt"
+  | P_fp_path -> "fp-path"
+  | P_fp_missing_hb -> "fp-missing-hb"
+  | P_inj_unmodeled -> "inj-unmodeled"
+  | P_chb_error_path -> "chb-error-path"
+  | P_safe -> "safe"
+
+let pp_pattern ppf p = Fmt.string ppf (pattern_to_string p)
+
+(* §8.5 false-positive sources. *)
+type fp_cause = Fp_path_insensitive | Fp_points_to | Fp_not_reachable | Fp_missing_hb
+
+let fp_cause_to_string = function
+  | Fp_path_insensitive -> "path-insens"
+  | Fp_points_to -> "points-to"
+  | Fp_not_reachable -> "not-reach"
+  | Fp_missing_hb -> "missing-hb"
+
+type expectation =
+  | E_true_bug of Nadroid_core.Classify.category
+  | E_filtered of Nadroid_core.Filters.name
+  | E_false_positive of fp_cause
+  | E_none  (** no warning at all *)
+
+let expectation = function
+  | P_ec_pc_uaf -> E_true_bug Nadroid_core.Classify.EC_PC
+  | P_pc_pc_uaf -> E_true_bug Nadroid_core.Classify.PC_PC
+  | P_c_nt_uaf -> E_true_bug Nadroid_core.Classify.C_NT
+  | P_c_rt_uaf -> E_true_bug Nadroid_core.Classify.C_RT
+  | P_ec_ec_uaf -> E_true_bug Nadroid_core.Classify.EC_EC
+  | P_guarded | P_guarded_locked -> E_filtered Nadroid_core.Filters.IG
+  | P_intra_alloc -> E_filtered Nadroid_core.Filters.IA
+  | P_mhb_service | P_mhb_lifecycle | P_mhb_async -> E_filtered Nadroid_core.Filters.MHB
+  | P_rhb -> E_filtered Nadroid_core.Filters.RHB
+  | P_chb -> E_filtered Nadroid_core.Filters.CHB
+  | P_phb -> E_filtered Nadroid_core.Filters.PHB
+  | P_ma -> E_filtered Nadroid_core.Filters.MA
+  | P_ur -> E_filtered Nadroid_core.Filters.UR
+  | P_tt -> E_filtered Nadroid_core.Filters.TT
+  | P_fp_path -> E_false_positive Fp_path_insensitive
+  | P_fp_missing_hb -> E_false_positive Fp_missing_hb
+  | P_inj_unmodeled -> E_none  (* a real bug nAdroid cannot see *)
+  | P_chb_error_path -> E_filtered Nadroid_core.Filters.CHB  (* wrongly pruned real bug *)
+  | P_safe -> E_none
+
+type activity_spec = { act_name : string; patterns : pattern list }
+
+type t = {
+  app_name : string;
+  activities : activity_spec list;
+  services : int;  (** bare background services, for the T column *)
+  padding : int;  (** extra inert helper classes, for LOC realism *)
+}
+
+(* Ground truth for one seeded pattern instance. *)
+type seeded = {
+  sd_app : string;
+  sd_activity : string;
+  sd_pattern : pattern;
+  sd_field : string;  (** unqualified field name, e.g. "f3" *)
+  sd_expect : expectation;
+}

@@ -1,0 +1,64 @@
+(** Bug / idiom patterns seeded into generated corpus apps, with their
+    ground-truth expectations: report as a true harmful UAF (of which
+    origin category), prune (with which filter), survive as a false
+    positive (from which §8.5 source), or stay invisible. *)
+
+type pattern =
+  | P_ec_pc_uaf  (** Fig 1(a): service disconnect frees, UI callback uses *)
+  | P_pc_pc_uaf  (** Fig 1(b): posted runnable uses, disconnect frees *)
+  | P_c_nt_uaf  (** Fig 1(c): separate worker class on a pool thread *)
+  | P_c_rt_uaf  (** thread spawned by the racing callback itself *)
+  | P_ec_ec_uaf
+  | P_guarded  (** IG: null-check in an atomic callback *)
+  | P_guarded_locked  (** IG across threads, under a common lock *)
+  | P_intra_alloc  (** IA *)
+  | P_mhb_service
+  | P_mhb_lifecycle
+  | P_mhb_async
+  | P_rhb
+  | P_chb
+  | P_phb
+  | P_ma
+  | P_ur
+  | P_tt
+  | P_fp_path  (** surviving FP: flag-guarded infeasible path *)
+  | P_fp_missing_hb  (** surviving FP: setEnabled(false) ordering *)
+  | P_inj_unmodeled  (** Table 2: bug through an unmodelled callback *)
+  | P_chb_error_path  (** Table 2: real bug wrongly pruned by may-CHB *)
+  | P_safe  (** inert padding *)
+
+val all_patterns : pattern list
+
+val pattern_to_string : pattern -> string
+
+val pp_pattern : pattern Fmt.t
+
+type fp_cause = Fp_path_insensitive | Fp_points_to | Fp_not_reachable | Fp_missing_hb
+
+val fp_cause_to_string : fp_cause -> string
+
+type expectation =
+  | E_true_bug of Nadroid_core.Classify.category
+  | E_filtered of Nadroid_core.Filters.name
+  | E_false_positive of fp_cause
+  | E_none
+
+val expectation : pattern -> expectation
+
+type activity_spec = { act_name : string; patterns : pattern list }
+
+type t = {
+  app_name : string;
+  activities : activity_spec list;
+  services : int;  (** bare background services, for the T column *)
+  padding : int;  (** inert helper classes, for LOC realism *)
+}
+
+(** Ground truth for one seeded pattern instance. *)
+type seeded = {
+  sd_app : string;
+  sd_activity : string;
+  sd_pattern : pattern;
+  sd_field : string;  (** unqualified field name, e.g. ["f3"] *)
+  sd_expect : expectation;
+}

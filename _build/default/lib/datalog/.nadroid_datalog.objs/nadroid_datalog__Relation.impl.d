@@ -1,0 +1,1 @@
+lib/datalog/relation.ml: Array Fmt Hashtbl List Printf Symbol

@@ -1,0 +1,1 @@
+lib/datalog/symbol.ml: Array Hashtbl Printf

@@ -1,0 +1,52 @@
+(** Semi-naive Datalog evaluation with stratified negation — the fixpoint
+    substrate standing in for Chord's bddbddb solver.
+
+    Usage: {!create} an engine, load base facts with {!fact}, state rules
+    with {!add_rule}, then query with {!mem} / {!query} / {!cardinal}
+    (which {!solve} lazily). Adding facts or rules after a solve
+    invalidates it; the next query re-solves.
+
+    Rules must be range-restricted (every head variable and every
+    variable under negation bound by a positive body atom) and the
+    program must be stratifiable; violations raise [Invalid_argument]. *)
+
+type term = Var of string | Const of int
+
+type atom = { pred : string; args : term list }
+
+type literal = Pos of atom | Neg of atom
+
+type rule = { head : atom; body : literal list }
+
+type t
+
+val create : unit -> t
+
+val symbols : t -> Symbol.t
+
+val const : t -> string -> term
+(** Intern a name as a constant term. *)
+
+val relation : t -> string -> arity:int -> Relation.t
+(** Declare (or fetch) a relation.
+    @raise Invalid_argument when redeclared at a different arity. *)
+
+val fact : t -> string -> string list -> unit
+(** [fact t pred args] adds a base (EDB) tuple, interning the names. *)
+
+val atom : string -> term list -> atom
+
+val add_rule : t -> atom -> literal list -> unit
+(** [add_rule t head body].
+    @raise Invalid_argument on range-restriction violations. *)
+
+val solve : t -> unit
+(** Stratify and run semi-naive evaluation to fixpoint. Idempotent.
+    @raise Invalid_argument when the program is not stratifiable. *)
+
+val mem : t -> string -> string list -> bool
+
+val query : t -> string -> string array list
+(** All tuples of a predicate, with names restored. *)
+
+val cardinal : t -> string -> int

@@ -1,0 +1,84 @@
+(* A Datalog relation: a mutable set of integer tuples of fixed arity,
+   with on-demand hash indexes over column subsets for joins. *)
+
+module TupleSet = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) b = a = b
+  let hash (a : int array) = Hashtbl.hash a
+end)
+
+type t = {
+  name : string;
+  arity : int;
+  tuples : unit TupleSet.t;
+  mutable indexes : (int list * (int list, int array list ref) Hashtbl.t) list;
+      (* bound-column positions -> (projection of tuple on those columns -> tuples) *)
+}
+
+let create ~name ~arity = { name; arity; tuples = TupleSet.create 64; indexes = [] }
+
+let name t = t.name
+
+let arity t = t.arity
+
+let mem t tup = TupleSet.mem t.tuples tup
+
+let cardinal t = TupleSet.length t.tuples
+
+let check_arity t tup =
+  if Array.length tup <> t.arity then
+    invalid_arg
+      (Printf.sprintf "relation %s has arity %d, got a tuple of width %d" t.name t.arity
+         (Array.length tup))
+
+(* Adding a fact invalidates indexes; they are rebuilt lazily. *)
+let add t tup =
+  check_arity t tup;
+  if TupleSet.mem t.tuples tup then false
+  else begin
+    TupleSet.replace t.tuples tup ();
+    t.indexes <- [];
+    true
+  end
+
+let iter f t = TupleSet.iter (fun tup () -> f tup) t.tuples
+
+let fold f acc t = TupleSet.fold (fun tup () acc -> f acc tup) t.tuples acc
+
+let to_list t = fold (fun acc tup -> tup :: acc) [] t
+
+let project tup cols = List.map (fun c -> tup.(c)) cols
+
+let index t cols =
+  match List.assoc_opt cols t.indexes with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create (max 16 (cardinal t)) in
+      iter
+        (fun tup ->
+          let k = project tup cols in
+          match Hashtbl.find_opt idx k with
+          | Some l -> l := tup :: !l
+          | None -> Hashtbl.add idx k (ref [ tup ]))
+        t;
+      t.indexes <- (cols, idx) :: t.indexes;
+      idx
+
+(* All tuples whose projection on [cols] equals [key]. *)
+let lookup t ~cols ~key =
+  match cols with
+  | [] -> to_list t
+  | _ -> (
+      let idx = index t cols in
+      match Hashtbl.find_opt idx key with Some l -> !l | None -> [])
+
+let pp sym ppf t =
+  Fmt.pf ppf "%s/%d {@\n" t.name t.arity;
+  iter
+    (fun tup ->
+      Fmt.pf ppf "  (%a)@\n"
+        Fmt.(list ~sep:(any ", ") string)
+        (Array.to_list (Array.map (Symbol.name sym) tup)))
+    t;
+  Fmt.pf ppf "}"

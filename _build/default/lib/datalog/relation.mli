@@ -1,0 +1,31 @@
+(** A Datalog relation: a mutable set of integer tuples of fixed arity,
+    with on-demand hash indexes over column subsets for joins. *)
+
+type t
+
+val create : name:string -> arity:int -> t
+
+val name : t -> string
+
+val arity : t -> int
+
+val mem : t -> int array -> bool
+
+val cardinal : t -> int
+
+val add : t -> int array -> bool
+(** [add t tup] returns [true] when the tuple is new. Invalidates
+    existing indexes (rebuilt lazily).
+    @raise Invalid_argument on arity mismatch. *)
+
+val iter : (int array -> unit) -> t -> unit
+
+val fold : ('a -> int array -> 'a) -> 'a -> t -> 'a
+
+val to_list : t -> int array list
+
+val lookup : t -> cols:int list -> key:int list -> int array list
+(** All tuples whose projection on [cols] equals [key]; builds and
+    caches a hash index on [cols]. [cols = []] returns everything. *)
+
+val pp : Symbol.t -> t Fmt.t

@@ -1,0 +1,37 @@
+(* String interning: Datalog constants are small integers; this table maps
+   them back and forth to human-readable names.
+
+   Analyses encode their domains (methods, fields, allocation sites,
+   abstract threads...) as interned strings, mirroring how Chord maps
+   program entities into bddbddb domains. *)
+
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create () = { by_name = Hashtbl.create 256; by_id = Array.make 256 ""; next = 0 }
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      if id >= Array.length t.by_id then begin
+        let bigger = Array.make (2 * Array.length t.by_id) "" in
+        Array.blit t.by_id 0 bigger 0 (Array.length t.by_id);
+        t.by_id <- bigger
+      end;
+      t.by_id.(id) <- name;
+      Hashtbl.add t.by_name name id;
+      id
+
+let find_opt t name = Hashtbl.find_opt t.by_name name
+
+let name t id =
+  if id < 0 || id >= t.next then invalid_arg (Printf.sprintf "Symbol.name: bad id %d" id);
+  t.by_id.(id)
+
+let size t = t.next

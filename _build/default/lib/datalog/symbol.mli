@@ -1,0 +1,17 @@
+(** String interning: Datalog constants are dense integers; this table
+    maps them back and forth to names, mirroring how Chord maps program
+    entities into bddbddb domains. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Idempotent: the same name always yields the same id. *)
+
+val find_opt : t -> string -> int option
+
+val name : t -> int -> string
+(** @raise Invalid_argument on an id never produced by {!intern}. *)
+
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/deva/deva.ml: Callback Cfg Fmt Guards Instr List Nadroid_analysis Nadroid_android Nadroid_ir Nadroid_lang Prog Sema String

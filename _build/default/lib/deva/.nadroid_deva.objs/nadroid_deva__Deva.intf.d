@@ -1,0 +1,1 @@
+lib/deva/deva.mli: Fmt Nadroid_ir

@@ -1,0 +1,19 @@
+(** The DEvA baseline (Safi et al., ESEC/FSE'15), reimplemented with the
+    limitations the paper documents (§2.3, §8.7): intra-class read/write
+    sets (a class plus its anonymous inner classes), broad name-based
+    event-handler recognition (covering Fragment-style classes), no
+    happens-before analysis, no thread model, and unsound IG/IA filters
+    applied as if all methods were atomic. *)
+
+type warning = {
+  dw_field : string;  (** qualified racy field *)
+  dw_class : string;  (** class group owning the callbacks *)
+  dw_use_cb : string;
+  dw_free_cb : string;
+}
+
+val pp : warning Fmt.t
+
+val run : Nadroid_ir.Prog.t -> warning list
+(** DEvA's "harmful" warnings: event anomalies surviving its own
+    (unsound) if-guard and intra-allocation filters. *)

@@ -1,0 +1,1 @@
+lib/dynamic/explorer.ml: Cfg Detect Hashtbl Instr Interp List Nadroid_core Nadroid_ir Nadroid_lang Prog Random Sema String World

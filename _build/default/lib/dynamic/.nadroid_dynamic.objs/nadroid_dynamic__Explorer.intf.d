@@ -1,0 +1,1 @@
+lib/dynamic/explorer.mli: Detect Interp Nadroid_core Nadroid_ir Prog World

@@ -1,0 +1,1 @@
+lib/dynamic/heap.ml: Array Hashtbl Option Printf Value

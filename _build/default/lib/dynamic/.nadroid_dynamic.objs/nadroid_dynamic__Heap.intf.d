@@ -1,0 +1,1 @@
+lib/dynamic/heap.mli: Value

@@ -1,0 +1,1 @@
+lib/dynamic/interp.ml: Api Array Ast Cfg Heap Instr List Loc Nadroid_android Nadroid_ir Nadroid_lang Prog Sema Value

@@ -1,0 +1,1 @@
+lib/dynamic/interp.mli: Cfg Heap Instr Loc Nadroid_android Nadroid_ir Nadroid_lang Prog Sema Value

@@ -1,0 +1,1 @@
+lib/dynamic/value.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/dynamic/value.mli: Fmt

@@ -1,0 +1,1 @@
+lib/dynamic/world.ml: Api Ast Callback Component Effect Fmt Hashtbl Heap Interp Lifecycle List Nadroid_android Nadroid_ir Nadroid_lang Option Prog Sema String Value

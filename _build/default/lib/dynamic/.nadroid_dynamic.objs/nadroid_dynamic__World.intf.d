@@ -1,0 +1,1 @@
+lib/dynamic/world.mli: Effect Fmt Hashtbl Heap Interp Lifecycle Nadroid_android Nadroid_ir Prog Value

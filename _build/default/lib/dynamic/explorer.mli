@@ -1,0 +1,61 @@
+(** Schedule exploration: mechanises the paper's manual validation
+    (§7, §8.4) — search for a schedule in which a warning's use site
+    dereferences a freed field. *)
+
+open Nadroid_ir
+open Nadroid_core
+
+type outcome = {
+  o_steps : int;
+  o_npes : Interp.npe list;
+  o_crashed : bool;
+  o_trace : World.action list;  (** actions taken, in order *)
+}
+
+val run_schedule :
+  ?resume_on_npe:bool ->
+  Prog.t ->
+  choose:(World.action list -> int -> World.action option) ->
+  max_steps:int ->
+  outcome
+(** Drive one world with an externally chosen schedule. *)
+
+val random_run : ?resume_on_npe:bool -> Prog.t -> seed:int -> max_steps:int -> outcome
+(** One seeded uniform random walk. Deterministic per seed. *)
+
+val npe_matches : Prog.t -> Detect.warning -> Interp.npe -> bool
+(** Does an NPE witness the warning? The faulting instruction is either
+    the use [getfield] itself or a later dereference of the loaded value
+    (followed through moves). *)
+
+val warning_classes : Prog.t -> Detect.warning -> string list
+(** Classes involved in a warning (declaring classes of both sites plus
+    their outer chains) — the bias targets for guided walks. *)
+
+val guided_run : Prog.t -> Detect.warning -> seed:int -> max_steps:int -> outcome
+(** A seeded walk biased toward the warning's participants; falls back
+    to fully random steps occasionally to stay ergodic. Runs in
+    crash-resume mode. *)
+
+type validation = { v_harmful : bool; v_runs : int; v_witness : World.action list option }
+
+val validate : Prog.t -> Detect.warning -> ?runs:int -> ?max_steps:int -> unit -> validation
+(** Alternate uniform and guided walks (crash-resume mode) until a
+    witness schedule triggers the warning or the budget runs out. *)
+
+val validate_all :
+  Prog.t ->
+  Detect.warning list ->
+  ?runs:int ->
+  ?max_steps:int ->
+  unit ->
+  (Detect.warning * validation) list
+
+val replay : Prog.t -> string list -> outcome
+(** Replay a recorded schedule (textual {!World.pp_action} lines, as a
+    validation witness prints them); unknown or currently-disabled lines
+    are skipped. *)
+
+val exhaustive : Prog.t -> depth:int -> Interp.npe list
+(** Bounded-exhaustive exploration of every schedule up to [depth]
+    actions; returns the distinct NPE sites encountered. *)

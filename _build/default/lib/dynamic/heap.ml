@@ -1,0 +1,41 @@
+(* A growable heap of objects. Fields are stored under their qualified
+   key (declaring class + name), matching the IR's field references, and
+   read as [Vnull] until first written — Java default semantics. *)
+
+type entry = { e_class : string; e_fields : (string, Value.t) Hashtbl.t }
+
+type t = { mutable arr : entry array; mutable n : int; statics : (string, Value.t) Hashtbl.t }
+
+let create () =
+  { arr = Array.make 64 { e_class = ""; e_fields = Hashtbl.create 0 }; n = 0; statics = Hashtbl.create 16 }
+
+let alloc t ~cls =
+  let id = t.n in
+  t.n <- id + 1;
+  if id >= Array.length t.arr then begin
+    let bigger = Array.make (2 * Array.length t.arr) t.arr.(0) in
+    Array.blit t.arr 0 bigger 0 (Array.length t.arr);
+    t.arr <- bigger
+  end;
+  t.arr.(id) <- { e_class = cls; e_fields = Hashtbl.create 8 };
+  id
+
+let entry t id =
+  if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Heap.entry: bad object id %d" id);
+  t.arr.(id)
+
+let class_of t id = (entry t id).e_class
+
+let get_field_opt t id ~key = Hashtbl.find_opt (entry t id).e_fields key
+
+let get_field t id ~key = Option.value ~default:Value.Vnull (get_field_opt t id ~key)
+
+let set_field t id ~key v = Hashtbl.replace (entry t id).e_fields key v
+
+let get_static_opt t ~key = Hashtbl.find_opt t.statics key
+
+let get_static t ~key = Option.value ~default:Value.Vnull (get_static_opt t ~key)
+
+let set_static t ~key v = Hashtbl.replace t.statics key v
+
+let size t = t.n

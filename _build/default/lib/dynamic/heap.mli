@@ -1,0 +1,26 @@
+(** A growable heap of objects. Fields are stored under their qualified
+    key (declaring class + name), matching the IR's field references. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> cls:string -> int
+
+val class_of : t -> int -> string
+
+val get_field_opt : t -> int -> key:string -> Value.t option
+
+val get_field : t -> int -> key:string -> Value.t
+(** [Vnull] when unset; the interpreter applies per-type Java defaults
+    via {!get_field_opt}. *)
+
+val set_field : t -> int -> key:string -> Value.t -> unit
+
+val get_static_opt : t -> key:string -> Value.t option
+
+val get_static : t -> key:string -> Value.t
+
+val set_static : t -> key:string -> Value.t -> unit
+
+val size : t -> int

@@ -1,0 +1,36 @@
+(** IR interpreter: executes one method call to completion.
+
+    Framework API calls are delegated to the embedding {!World} through
+    [hooks]; [h_yield] runs before every shared-memory access so the
+    scheduler can preempt native threads at race-relevant points (looper
+    callbacks are atomic w.r.t. each other, §2.1). A dereference of
+    [null] raises {!Npe} carrying the faulting site — the signal the
+    validator matches against a warning's use site. *)
+
+open Nadroid_lang
+open Nadroid_ir
+
+type npe = { npe_mref : Instr.mref; npe_instr_id : int; npe_loc : Loc.t }
+
+exception Npe of npe
+
+exception Out_of_fuel
+
+type hooks = {
+  h_api :
+    recv:Value.t -> ms:Sema.method_sig -> args:Value.t list -> Nadroid_android.Api.kind -> Value.t;
+  h_log : string -> unit;
+  h_yield : Instr.t -> unit;
+  h_fuel : unit -> unit;
+  h_monitor : [ `Enter | `Exit ] -> Value.t -> unit;
+}
+
+type t = { prog : Prog.t; heap : Heap.t; hooks : hooks }
+
+val field_key : Instr.fref -> string
+
+val exec_body : t -> Cfg.body -> Value.t -> Value.t list -> Value.t
+
+val call : t -> recv:Value.t -> meth:string -> args:Value.t list -> Value.t
+(** Dynamic dispatch on the receiver's class; unoverridden framework
+    callbacks are no-ops. *)

@@ -1,0 +1,23 @@
+(* Runtime values of the MiniAndroid simulator. *)
+
+type t = Vnull | Vint of int | Vbool of bool | Vstr of string | Vobj of int
+
+let pp ppf = function
+  | Vnull -> Fmt.string ppf "null"
+  | Vint n -> Fmt.int ppf n
+  | Vbool b -> Fmt.bool ppf b
+  | Vstr s -> Fmt.pf ppf "%S" s
+  | Vobj i -> Fmt.pf ppf "obj#%d" i
+
+let equal a b =
+  match (a, b) with
+  | Vnull, Vnull -> true
+  | Vint x, Vint y -> x = y
+  | Vbool x, Vbool y -> x = y
+  | Vstr x, Vstr y -> String.equal x y
+  | Vobj x, Vobj y -> x = y
+  | (Vnull | Vint _ | Vbool _ | Vstr _ | Vobj _), _ -> false
+
+let truthy = function
+  | Vbool b -> b
+  | Vnull | Vint _ | Vstr _ | Vobj _ -> invalid_arg "Value.truthy: not a boolean"

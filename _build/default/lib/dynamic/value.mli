@@ -1,0 +1,10 @@
+(** Runtime values of the MiniAndroid simulator. *)
+
+type t = Vnull | Vint of int | Vbool of bool | Vstr of string | Vobj of int
+
+val pp : t Fmt.t
+
+val equal : t -> t -> bool
+
+val truthy : t -> bool
+(** @raise Invalid_argument on non-boolean values. *)

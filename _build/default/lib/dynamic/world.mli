@@ -1,0 +1,123 @@
+(** The simulated Android runtime: one main looper processing a callback
+    at a time, preemptible native threads (OCaml effect handlers; fibers
+    yield at shared-memory accesses whenever a native thread is live),
+    object monitors, component lifecycles driven by the
+    {!Nadroid_android.Lifecycle} automaton, and the registration /
+    cancellation API surface.
+
+    The scheduler is externally driven: {!enabled_actions} lists what may
+    happen next and {!perform} executes one choice. Exploration
+    strategies live in {!Explorer}. *)
+
+open Nadroid_ir
+open Nadroid_android
+
+type task = {
+  tk_recv : Value.t;
+  tk_meth : string;
+  tk_args : Value.t list;
+  tk_source : Value.t option;  (** posting Handler, for removeCallbacksAndMessages *)
+  tk_label : string;
+}
+
+type _ Effect.t += Yield : unit Effect.t
+
+type thread_state =
+  | Ready of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+type native = { nt_id : int; nt_label : string; mutable nt_state : thread_state }
+
+type activity = {
+  act_cls : string;
+  act_obj : int;
+  act_ui : string list;  (** overridden non-lifecycle entry callbacks *)
+  mutable act_state : Lifecycle.state;
+  mutable act_finished : bool;
+}
+
+type service_state = Sv_init | Sv_created | Sv_destroyed
+
+type service = { sv_cls : string; sv_obj : int; mutable sv_state : service_state }
+
+type t = {
+  prog : Prog.t;
+  heap : Heap.t;
+  mutable queue : task list;  (** the main looper's FIFO *)
+  mutable natives : native list;
+  mutable next_nt : int;
+  mutable clicks : (Value.t * Value.t) list;  (** (view, listener) *)
+  mutable long_clicks : (Value.t * Value.t) list;
+  mutable receivers : Value.t list;
+  mutable connections : (Value.t * bool ref) list;
+  mutable locations : Value.t list;
+  mutable sensors : Value.t list;
+  activities : activity list;
+  services : service list;
+  manifest_receivers : (string * int) list;
+  views : (int * int, Value.t) Hashtbl.t;
+  singletons : (string, Value.t) Hashtbl.t;
+  mutable npes : Interp.npe list;
+  mutable logs : string list;
+  mutable fuel : int;
+  mutable crashed : bool;
+  resume_on_npe : bool;
+  mutable wakelocks : int list;
+  mutable looper_fiber : thread_state option;
+  mutable current_fiber : int;
+  locks : (int, int * int) Hashtbl.t;
+}
+
+val create : ?resume_on_npe:bool -> Prog.t -> t
+(** Instantiate every component and reset the world. With
+    [resume_on_npe] (validation mode), an NPE aborts only the faulting
+    callback/thread instead of crashing the app. *)
+
+(** One schedulable choice. *)
+type action =
+  | A_lifecycle of string * string  (** activity class, lifecycle callback *)
+  | A_activity_ui of string * string  (** activity class, UI entry callback *)
+  | A_service of string * string
+  | A_click of int
+  | A_long_click of int
+  | A_broadcast_dynamic of int
+  | A_broadcast_manifest of int
+  | A_connect of int
+  | A_disconnect of int
+  | A_location of int
+  | A_sensor of int
+  | A_looper  (** start the next queued looper task *)
+  | A_looper_step  (** advance the callback currently on the looper *)
+  | A_thread_step of int  (** advance a native thread to its next yield *)
+
+val pp_action : action Fmt.t
+
+val enabled_actions : t -> action list
+(** While a looper callback is mid-flight only it and native threads can
+    progress — callbacks stay atomic w.r.t. each other. Clicks respect
+    [setEnabled] and activity visibility; finished activities only tear
+    down. *)
+
+val perform : t -> action -> unit
+
+val action_class : t -> action -> string option
+(** The user-code class an external action targets ([None] for
+    structural actions) — used by the guided validator. *)
+
+val action_of_string : t -> string -> action option
+(** Parse the textual form produced by {!pp_action}, returning the
+    action only when it is currently enabled — the inverse used by
+    witness-schedule replay. *)
+
+val no_sleep_state : t -> bool
+(** §9 extension oracle: some wake lock is held although every activity
+    has left the foreground. *)
+
+val held_wakelocks : t -> int list
+
+val all_backgrounded : t -> bool
+
+val npes : t -> Interp.npe list
+
+val logs : t -> string list

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Ast Fmt Instr List Loc Nadroid_lang

@@ -1,0 +1,1 @@
+lib/ir/cfg.mli: Ast Fmt Instr Loc Nadroid_lang

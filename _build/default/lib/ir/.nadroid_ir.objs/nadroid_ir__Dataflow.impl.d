@@ -1,0 +1,1 @@
+lib/ir/dataflow.ml: Array Cfg Instr List

@@ -1,0 +1,1 @@
+lib/ir/dataflow.mli: Cfg Instr

@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Ast Fmt Int Loc Nadroid_lang Option Sema String

@@ -1,0 +1,1 @@
+lib/ir/instr.mli: Ast Fmt Loc Nadroid_lang Sema

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Builtins Cfg Hashtbl Instr List Nadroid_lang Option Printf Sema String

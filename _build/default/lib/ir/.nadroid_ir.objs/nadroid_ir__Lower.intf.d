@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Cfg Nadroid_lang

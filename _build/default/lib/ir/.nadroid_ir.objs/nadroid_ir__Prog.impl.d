@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Cfg Hashtbl Instr List Lower Nadroid_lang Sema

@@ -1,0 +1,1 @@
+lib/ir/prog.mli: Cfg Hashtbl Instr Nadroid_lang

@@ -1,0 +1,106 @@
+(* Control-flow graphs for lowered method bodies. *)
+
+open Nadroid_lang
+
+(* Facts attached to conditional edges: what is known non-null when the
+   edge is taken. The lowering records them for conditions of the shape
+   [x != null], [this.f != null] (possibly through an outer chain) and
+   their negations; the If-Guard filter (§6.1.2) consumes them. *)
+type nonnull_fact =
+  | Nn_var of Instr.var  (** this local is non-null *)
+  | Nn_field of Instr.fref  (** field [f] (read off [this]/outer) is non-null *)
+
+let pp_nonnull_fact ppf = function
+  | Nn_var v -> Fmt.pf ppf "%a!=null" Instr.pp_var v
+  | Nn_field f -> Fmt.pf ppf "%a!=null" Instr.pp_fref f
+
+type terminator =
+  | Goto of int
+  | If of {
+      cond : Instr.var;
+      t : int;
+      f : int;
+      t_facts : nonnull_fact list;  (** known non-null on the true edge *)
+      f_facts : nonnull_fact list;  (** known non-null on the false edge *)
+    }
+  | Ret of Instr.var option
+
+type block = {
+  b_id : int;
+  mutable b_instrs : Instr.t list;  (** in execution order *)
+  mutable b_term : terminator;
+}
+
+type body = {
+  mref : Instr.mref;
+  params : Instr.var list;  (** [this] first, then declared parameters *)
+  ret_ty : Ast.ty;
+  mutable blocks : block array;  (** indexed by [b_id]; entry is block 0 *)
+  n_vars : int;  (** number of local slots (params + locals + temps) *)
+  loc : Loc.t;
+}
+
+let entry_id = 0
+
+let block body id = body.blocks.(id)
+
+let successors blk =
+  match blk.b_term with Goto n -> [ n ] | If { t; f; _ } -> [ t; f ] | Ret _ -> []
+
+let predecessors body : int list array =
+  let preds = Array.make (Array.length body.blocks) [] in
+  Array.iter
+    (fun blk -> List.iter (fun s -> preds.(s) <- blk.b_id :: preds.(s)) (successors blk))
+    body.blocks;
+  preds
+
+let iter_instrs f body = Array.iter (fun blk -> List.iter f blk.b_instrs) body.blocks
+
+let fold_instrs f acc body =
+  Array.fold_left (fun acc blk -> List.fold_left f acc blk.b_instrs) acc body.blocks
+
+let find_instr body id =
+  let found = ref None in
+  iter_instrs (fun ins -> if ins.Instr.id = id then found := Some ins) body;
+  !found
+
+let n_instrs body = fold_instrs (fun n _ -> n + 1) 0 body
+
+let pp_terminator ppf = function
+  | Goto n -> Fmt.pf ppf "goto B%d" n
+  | If { cond; t; f; t_facts; f_facts } ->
+      Fmt.pf ppf "if %a then B%d else B%d" Instr.pp_var cond t f;
+      if t_facts <> [] then
+        Fmt.pf ppf "  [T: %a]" Fmt.(list ~sep:(any ", ") pp_nonnull_fact) t_facts;
+      if f_facts <> [] then
+        Fmt.pf ppf "  [F: %a]" Fmt.(list ~sep:(any ", ") pp_nonnull_fact) f_facts
+  | Ret None -> Fmt.string ppf "return"
+  | Ret (Some v) -> Fmt.pf ppf "return %a" Instr.pp_var v
+
+let pp ppf body =
+  Fmt.pf ppf "%a(%a) : %a {@\n" Instr.pp_mref body.mref
+    Fmt.(list ~sep:(any ", ") Instr.pp_var)
+    body.params Ast.pp_ty body.ret_ty;
+  Array.iter
+    (fun blk ->
+      Fmt.pf ppf " B%d:@\n" blk.b_id;
+      List.iter (fun ins -> Fmt.pf ppf "   %a@\n" Instr.pp ins) blk.b_instrs;
+      Fmt.pf ppf "   %a@\n" pp_terminator blk.b_term)
+    body.blocks;
+  Fmt.pf ppf "}"
+
+(* Reverse-post-order of reachable blocks: the iteration order used by the
+   dataflow engine. *)
+let reverse_postorder body : int list =
+  let n = Array.length body.blocks in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter dfs (successors body.blocks.(id));
+      order := id :: !order
+    end
+  in
+  dfs entry_id;
+  !order

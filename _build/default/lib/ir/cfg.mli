@@ -1,0 +1,61 @@
+(** Control-flow graphs for lowered method bodies. *)
+
+open Nadroid_lang
+
+(** What is known non-null when a conditional edge is taken; recorded by
+    the lowering for [x != null] / [this.f != null] conditions and
+    consumed by the If-Guard filter (§6.1.2). *)
+type nonnull_fact =
+  | Nn_var of Instr.var
+  | Nn_field of Instr.fref  (** field read off [this] / the outer chain *)
+
+val pp_nonnull_fact : nonnull_fact Fmt.t
+
+type terminator =
+  | Goto of int
+  | If of {
+      cond : Instr.var;
+      t : int;
+      f : int;
+      t_facts : nonnull_fact list;
+      f_facts : nonnull_fact list;
+    }
+  | Ret of Instr.var option
+
+type block = {
+  b_id : int;
+  mutable b_instrs : Instr.t list;  (** execution order *)
+  mutable b_term : terminator;
+}
+
+type body = {
+  mref : Instr.mref;
+  params : Instr.var list;  (** [this] first, then declared parameters *)
+  ret_ty : Ast.ty;
+  mutable blocks : block array;  (** indexed by [b_id]; entry is block 0 *)
+  n_vars : int;
+  loc : Loc.t;
+}
+
+val entry_id : int
+
+val block : body -> int -> block
+
+val successors : block -> int list
+
+val predecessors : body -> int list array
+
+val iter_instrs : (Instr.t -> unit) -> body -> unit
+
+val fold_instrs : ('a -> Instr.t -> 'a) -> 'a -> body -> 'a
+
+val find_instr : body -> int -> Instr.t option
+
+val n_instrs : body -> int
+
+val pp_terminator : terminator Fmt.t
+
+val pp : body Fmt.t
+
+val reverse_postorder : body -> int list
+(** Reverse post-order of reachable blocks, starting at the entry. *)

@@ -1,0 +1,80 @@
+(* A small generic forward dataflow framework over {!Cfg} bodies.
+
+   Clients provide a join semilattice and transfer functions for
+   instructions and for conditional edges (the latter lets analyses pick
+   up the non-null facts the lowering attached to branches). The engine
+   iterates to a fixpoint in reverse post-order.
+
+   Used for the must-non-null analysis behind the If-Guard filter and the
+   must-allocated analysis behind the Intra-Allocation filter (§6.1). *)
+
+type edge = Edge_goto | Edge_true | Edge_false
+
+type 'a spec = {
+  init_entry : 'a;  (** fact at the entry of block 0 *)
+  init_other : 'a;  (** initial fact for all other blocks (top for a must analysis) *)
+  join : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+  transfer_instr : Instr.t -> 'a -> 'a;
+  transfer_edge : Cfg.block -> edge -> 'a -> 'a;
+}
+
+type 'a result = {
+  block_in : 'a array;  (** fact at block entry, indexed by block id *)
+  spec : 'a spec;
+  body : Cfg.body;
+}
+
+let block_out spec blk fact = List.fold_left (fun f ins -> spec.transfer_instr ins f) fact blk.Cfg.b_instrs
+
+let run (body : Cfg.body) (spec : 'a spec) : 'a result =
+  let n = Array.length body.Cfg.blocks in
+  let block_in = Array.make n spec.init_other in
+  block_in.(Cfg.entry_id) <- spec.init_entry;
+  let order = Cfg.reverse_postorder body in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bid ->
+        let blk = body.Cfg.blocks.(bid) in
+        let out = block_out spec blk block_in.(bid) in
+        let push succ edge =
+          let v = spec.transfer_edge blk edge out in
+          (* the entry block keeps its boundary fact; joining would lose it *)
+          let joined =
+            if succ = Cfg.entry_id then block_in.(succ) else spec.join block_in.(succ) v
+          in
+          if not (spec.equal joined block_in.(succ)) then begin
+            block_in.(succ) <- joined;
+            changed := true
+          end
+        in
+        match blk.Cfg.b_term with
+        | Cfg.Goto s -> push s Edge_goto
+        | Cfg.If { t; f; _ } ->
+            push t Edge_true;
+            push f Edge_false
+        | Cfg.Ret _ -> ())
+      order
+  done;
+  { block_in; spec; body }
+
+(* Replay transfer functions inside a block to obtain the fact holding
+   just before each instruction. [f] receives (instr, fact-before). *)
+let iter_facts (r : 'a result) (f : Instr.t -> 'a -> unit) =
+  Array.iter
+    (fun blk ->
+      let fact = ref r.block_in.(blk.Cfg.b_id) in
+      List.iter
+        (fun ins ->
+          f ins !fact;
+          fact := r.spec.transfer_instr ins !fact)
+        blk.Cfg.b_instrs)
+    r.body.Cfg.blocks
+
+(* Fact holding just before instruction [id], if the instruction exists. *)
+let fact_before (r : 'a result) ~(instr_id : int) : 'a option =
+  let found = ref None in
+  iter_facts r (fun ins fact -> if ins.Instr.id = instr_id then found := Some fact);
+  !found

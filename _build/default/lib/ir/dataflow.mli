@@ -1,0 +1,26 @@
+(** A small generic forward dataflow engine over {!Cfg} bodies.
+
+    Clients provide a join semilattice and transfer functions for
+    instructions and conditional edges (the latter lets analyses pick up
+    the non-null facts recorded on branches). Iterates to fixpoint in
+    reverse post-order. *)
+
+type edge = Edge_goto | Edge_true | Edge_false
+
+type 'a spec = {
+  init_entry : 'a;  (** boundary fact at the entry block *)
+  init_other : 'a;  (** initial fact elsewhere (top for a must-analysis) *)
+  join : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+  transfer_instr : Instr.t -> 'a -> 'a;
+  transfer_edge : Cfg.block -> edge -> 'a -> 'a;
+}
+
+type 'a result
+
+val run : Cfg.body -> 'a spec -> 'a result
+
+val iter_facts : 'a result -> (Instr.t -> 'a -> unit) -> unit
+(** Replay transfers inside each block, calling [f instr fact-before]. *)
+
+val fact_before : 'a result -> instr_id:int -> 'a option

@@ -1,0 +1,151 @@
+(* Bytecode-like intermediate representation.
+
+   MiniAndroid methods are lowered (see {!Lower}) to three-address
+   instructions over numbered local slots, organised into basic blocks
+   ({!Cfg}). The instruction set mirrors the fragment of Java bytecode
+   nAdroid's analyses consume: [getfield]/[putfield] (uses and frees),
+   [new] (allocation sites), virtual calls, and monitor enter/exit for
+   the lockset analysis. *)
+
+open Nadroid_lang
+
+type var = { v_id : int; v_name : string }
+(** A local slot. Slot 0 is always [this]. *)
+
+let pp_var ppf v = Fmt.pf ppf "%s/%d" v.v_name v.v_id
+
+let var_equal a b = a.v_id = b.v_id
+
+type const = Cnull | Cint of int | Cbool of bool | Cstr of string
+
+let pp_const ppf = function
+  | Cnull -> Fmt.string ppf "null"
+  | Cint n -> Fmt.int ppf n
+  | Cbool b -> Fmt.bool ppf b
+  | Cstr s -> Fmt.pf ppf "%S" s
+
+type mref = { mr_class : string; mr_name : string }
+(** Method reference: declaring class + method name (names are unique per
+    class in MiniAndroid, so no descriptor is needed). *)
+
+let pp_mref ppf m = Fmt.pf ppf "%s.%s" m.mr_class m.mr_name
+
+let mref_equal a b = String.equal a.mr_class b.mr_class && String.equal a.mr_name b.mr_name
+
+let mref_compare a b =
+  match String.compare a.mr_class b.mr_class with
+  | 0 -> String.compare a.mr_name b.mr_name
+  | c -> c
+
+type alloc_site = {
+  as_method : mref;  (** method containing the [new] *)
+  as_idx : int;  (** index of the [new] within that method *)
+  as_class : string;  (** class being allocated *)
+  as_loc : Loc.t;
+}
+
+let pp_alloc_site ppf a = Fmt.pf ppf "%a/new%d:%s" pp_mref a.as_method a.as_idx a.as_class
+
+let alloc_site_compare a b =
+  match mref_compare a.as_method b.as_method with 0 -> Int.compare a.as_idx b.as_idx | c -> c
+
+let alloc_site_equal a b = alloc_site_compare a b = 0
+
+type fref = Sema.field_ref
+
+let pp_fref ppf (f : fref) = Fmt.pf ppf "%s.%s" f.Sema.fr_class f.Sema.fr_name
+
+let fref_equal (a : fref) (b : fref) =
+  String.equal a.Sema.fr_class b.Sema.fr_class && String.equal a.Sema.fr_name b.Sema.fr_name
+
+(* Provenance of the value stored by a [PutField]: a field set to the
+   [null] literal is a *free* in the paper's sense (§5). *)
+type put_src = Src_null | Src_var
+
+type binop = Ast.binop
+
+type unop = Ast.unop
+
+type kind =
+  | Move of var * var  (** dst, src *)
+  | Const of var * const
+  | New of var * alloc_site * Sema.method_sig option * var list
+      (** dst, site, optional [init] method, init args. The lowering of an
+          anonymous-class allocation additionally emits a [PutField] of
+          the implicit [outer] field right after the [New]. *)
+  | Getfield of var * var * fref  (** dst = obj.f — a {e use} of [f] *)
+  | Putfield of var * fref * var * put_src  (** obj.f = src — a {e free} when [Src_null] *)
+  | Getstatic of var * fref
+  | Putstatic of fref * var * put_src
+  | Call of var option * var * Sema.method_sig * var list  (** dst, recv, callee, args *)
+  | Intrinsic of var option * string * var list
+  | Unop of var * unop * var
+  | Binop of var * binop * var * var
+  | Monitor_enter of var
+  | Monitor_exit of var
+
+type t = {
+  i : kind;
+  loc : Loc.t;
+  id : int;  (** unique within the enclosing method body *)
+}
+
+(* Pretty-printing, mainly for tests and [--dump-ir]. *)
+let pp ppf ins =
+  match ins.i with
+  | Move (d, s) -> Fmt.pf ppf "%a = %a" pp_var d pp_var s
+  | Const (d, c) -> Fmt.pf ppf "%a = %a" pp_var d pp_const c
+  | New (d, site, _, args) ->
+      Fmt.pf ppf "%a = new %s(%a) @%d" pp_var d site.as_class
+        Fmt.(list ~sep:(any ", ") pp_var)
+        args site.as_idx
+  | Getfield (d, o, f) -> Fmt.pf ppf "%a = %a.%a" pp_var d pp_var o pp_fref f
+  | Putfield (o, f, s, Src_var) -> Fmt.pf ppf "%a.%a = %a" pp_var o pp_fref f pp_var s
+  | Putfield (o, f, _, Src_null) -> Fmt.pf ppf "%a.%a = null  ; free" pp_var o pp_fref f
+  | Getstatic (d, f) -> Fmt.pf ppf "%a = static %a" pp_var d pp_fref f
+  | Putstatic (f, s, Src_var) -> Fmt.pf ppf "static %a = %a" pp_fref f pp_var s
+  | Putstatic (f, _, Src_null) -> Fmt.pf ppf "static %a = null  ; free" pp_fref f
+  | Call (d, r, ms, args) ->
+      let pp_dst ppf = function None -> () | Some d -> Fmt.pf ppf "%a = " pp_var d in
+      Fmt.pf ppf "%a%a.%s.%s(%a)" pp_dst d pp_var r ms.Sema.ms_class ms.Sema.ms_name
+        Fmt.(list ~sep:(any ", ") pp_var)
+        args
+  | Intrinsic (d, name, args) ->
+      let pp_dst ppf = function None -> () | Some d -> Fmt.pf ppf "%a = " pp_var d in
+      Fmt.pf ppf "%a%s!(%a)" pp_dst d name Fmt.(list ~sep:(any ", ") pp_var) args
+  | Unop (d, op, a) -> Fmt.pf ppf "%a = %a%a" pp_var d Ast.pp_unop op pp_var a
+  | Binop (d, op, a, b) ->
+      Fmt.pf ppf "%a = %a %a %a" pp_var d pp_var a Ast.pp_binop op pp_var b
+  | Monitor_enter v -> Fmt.pf ppf "monitorenter %a" pp_var v
+  | Monitor_exit v -> Fmt.pf ppf "monitorexit %a" pp_var v
+
+(* Variables defined / used by an instruction; used by dataflow. *)
+let defs ins =
+  match ins.i with
+  | Move (d, _)
+  | Const (d, _)
+  | New (d, _, _, _)
+  | Getfield (d, _, _)
+  | Getstatic (d, _)
+  | Unop (d, _, _)
+  | Binop (d, _, _, _) ->
+      [ d ]
+  | Putfield _ | Putstatic _ | Monitor_enter _ | Monitor_exit _ -> []
+  | Call (d, _, _, _) | Intrinsic (d, _, _) -> Option.to_list d
+
+let uses ins =
+  match ins.i with
+  | Move (_, s) -> [ s ]
+  | Const _ -> []
+  | New (_, _, _, args) -> args
+  | Getfield (_, o, _) -> [ o ]
+  | Putfield (o, _, s, Src_var) -> [ o; s ]
+  | Putfield (o, _, _, Src_null) -> [ o ]
+  | Getstatic _ -> []
+  | Putstatic (_, s, Src_var) -> [ s ]
+  | Putstatic (_, _, Src_null) -> []
+  | Call (_, r, _, args) -> r :: args
+  | Intrinsic (_, _, args) -> args
+  | Unop (_, _, a) -> [ a ]
+  | Binop (_, _, a, b) -> [ a; b ]
+  | Monitor_enter v | Monitor_exit v -> [ v ]

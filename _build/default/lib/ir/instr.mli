@@ -1,0 +1,84 @@
+(** Bytecode-like intermediate representation.
+
+    MiniAndroid methods lower to three-address instructions over numbered
+    local slots, organised into basic blocks ({!Cfg}). The instruction
+    set mirrors the fragment of Java bytecode nAdroid's analyses consume:
+    [getfield]/[putfield] (uses and frees), [new] (allocation sites),
+    virtual calls, and monitor enter/exit for the lockset analysis. *)
+
+open Nadroid_lang
+
+type var = { v_id : int; v_name : string }
+(** A local slot; slot 0 is always [this]. *)
+
+val pp_var : var Fmt.t
+
+val var_equal : var -> var -> bool
+
+type const = Cnull | Cint of int | Cbool of bool | Cstr of string
+
+val pp_const : const Fmt.t
+
+type mref = { mr_class : string; mr_name : string }
+(** Method reference: declaring class + method name. *)
+
+val pp_mref : mref Fmt.t
+
+val mref_equal : mref -> mref -> bool
+
+val mref_compare : mref -> mref -> int
+
+type alloc_site = {
+  as_method : mref;  (** method containing the [new] *)
+  as_idx : int;  (** index of the [new] within that method *)
+  as_class : string;
+  as_loc : Loc.t;
+}
+
+val pp_alloc_site : alloc_site Fmt.t
+
+val alloc_site_compare : alloc_site -> alloc_site -> int
+
+val alloc_site_equal : alloc_site -> alloc_site -> bool
+
+type fref = Sema.field_ref
+
+val pp_fref : fref Fmt.t
+
+val fref_equal : fref -> fref -> bool
+
+(** Provenance of a stored value: a field set to the [null] literal is a
+    {e free} in the paper's sense (§5). *)
+type put_src = Src_null | Src_var
+
+type binop = Ast.binop
+
+type unop = Ast.unop
+
+type kind =
+  | Move of var * var
+  | Const of var * const
+  | New of var * alloc_site * Sema.method_sig option * var list
+      (** dst, site, optional [init] constructor, init args *)
+  | Getfield of var * var * fref  (** a {e use} of the field *)
+  | Putfield of var * fref * var * put_src  (** a {e free} when [Src_null] *)
+  | Getstatic of var * fref
+  | Putstatic of fref * var * put_src
+  | Call of var option * var * Sema.method_sig * var list
+  | Intrinsic of var option * string * var list
+  | Unop of var * unop * var
+  | Binop of var * binop * var * var
+  | Monitor_enter of var
+  | Monitor_exit of var
+
+type t = {
+  i : kind;
+  loc : Loc.t;
+  id : int;  (** unique within the enclosing method body *)
+}
+
+val pp : t Fmt.t
+
+val defs : t -> var list
+
+val uses : t -> var list

@@ -1,0 +1,14 @@
+(** Lowering of resolved MiniAndroid methods to the CFG-based IR.
+
+    Guarantees relied on downstream:
+    - [&&] / [||] are short-circuiting and lowered to control flow;
+    - conditional branches carry {!Cfg.nonnull_fact}s for [x != null] /
+      [this.f != null] conditions (consumed by the If-Guard filter);
+    - anonymous-class allocations store the current [this] into the
+      implicit [outer] field right after the [new];
+    - a [putfield] whose right-hand side is the [null] literal is tagged
+      {!Instr.Src_null} — the paper's {e free} operations;
+    - every [new] expression gets its own fresh temporary (exploited by
+      the must-allocation analysis). *)
+
+val lower_method : Nadroid_lang.Sema.t -> Nadroid_lang.Sema.rmeth -> Cfg.body

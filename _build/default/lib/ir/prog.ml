@@ -1,0 +1,56 @@
+(* A whole lowered program: the resolved class table plus one CFG body per
+   method (builtins included — their empty bodies are harmless, and the
+   ones with real MiniAndroid bodies, e.g. [Thread.init], are analysed
+   like user code). *)
+
+open Nadroid_lang
+
+type t = {
+  sema : Sema.t;
+  bodies : (string, Cfg.body) Hashtbl.t;  (* key: "Class.method" *)
+}
+
+let key_of ~cls ~meth = cls ^ "." ^ meth
+
+let key_of_mref (m : Instr.mref) = key_of ~cls:m.Instr.mr_class ~meth:m.Instr.mr_name
+
+let of_sema (sema : Sema.t) : t =
+  let bodies = Hashtbl.create 256 in
+  ignore
+    (Sema.fold_methods sema
+       (fun () cls m ->
+         let body = Lower.lower_method sema m in
+         Hashtbl.replace bodies (key_of ~cls:cls.Sema.rc_name ~meth:m.Sema.rm_name) body)
+       ());
+  { sema; bodies }
+
+let of_source ~file src = of_sema (Sema.of_source ~file src)
+
+let body t (m : Instr.mref) : Cfg.body option = Hashtbl.find_opt t.bodies (key_of_mref m)
+
+let body_exn t m =
+  match body t m with
+  | Some b -> b
+  | None -> invalid_arg ("Prog.body_exn: no body for " ^ key_of_mref m)
+
+(* The most-derived implementation reached when calling [name] on a
+   dynamic instance of [cls]. *)
+let dispatch_body t ~cls ~meth : Cfg.body option =
+  match Sema.dispatch t.sema cls meth with
+  | None -> None
+  | Some m -> body t { Instr.mr_class = m.Sema.rm_class; mr_name = m.Sema.rm_name }
+
+let iter_bodies f t = Hashtbl.iter (fun _ b -> f b) t.bodies
+
+let fold_bodies f acc t = Hashtbl.fold (fun _ b acc -> f acc b) t.bodies acc
+
+(* All user-declared (non-builtin) method bodies. *)
+let user_bodies t =
+  List.concat_map
+    (fun (c : Sema.rcls) ->
+      List.filter_map
+        (fun (m : Sema.rmeth) -> body t { Instr.mr_class = c.Sema.rc_name; mr_name = m.Sema.rm_name })
+        c.Sema.rc_methods)
+    (Sema.user_classes t.sema)
+
+let n_instrs t = fold_bodies (fun acc b -> acc + Cfg.n_instrs b) 0 t

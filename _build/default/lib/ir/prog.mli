@@ -1,0 +1,28 @@
+(** A whole lowered program: the resolved class table plus one CFG body
+    per method (builtins included). *)
+
+type t = {
+  sema : Nadroid_lang.Sema.t;
+  bodies : (string, Cfg.body) Hashtbl.t;  (** keyed by ["Class.method"] *)
+}
+
+val of_sema : Nadroid_lang.Sema.t -> t
+
+val of_source : file:string -> string -> t
+
+val body : t -> Instr.mref -> Cfg.body option
+
+val body_exn : t -> Instr.mref -> Cfg.body
+
+val dispatch_body : t -> cls:string -> meth:string -> Cfg.body option
+(** The most-derived implementation reached when calling [meth] on a
+    dynamic instance of [cls]. *)
+
+val iter_bodies : (Cfg.body -> unit) -> t -> unit
+
+val fold_bodies : ('a -> Cfg.body -> 'a) -> 'a -> t -> 'a
+
+val user_bodies : t -> Cfg.body list
+(** Bodies of user-declared (non-builtin) methods. *)
+
+val n_instrs : t -> int

@@ -1,0 +1,1 @@
+lib/lang/builtins.ml: Ast Lazy List Parser String

@@ -1,0 +1,1 @@
+lib/lang/diag.ml: Fmt Format Loc Result

@@ -1,0 +1,1 @@
+lib/lang/diag.mli: Fmt Format Loc

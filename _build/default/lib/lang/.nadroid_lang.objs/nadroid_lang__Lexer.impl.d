@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Diag List Loc String Token

@@ -1,0 +1,1 @@
+lib/lang/loc.mli: Fmt

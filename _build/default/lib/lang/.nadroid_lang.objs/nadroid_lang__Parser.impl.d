@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Diag Lexer List Loc Printf Token

@@ -1,0 +1,1 @@
+lib/lang/pretty.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/lang/pretty.mli: Ast Fmt

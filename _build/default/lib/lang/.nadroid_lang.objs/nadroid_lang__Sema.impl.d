@@ -1,0 +1,1 @@
+lib/lang/sema.ml: Ast Builtins Diag Hashtbl Lazy List Loc Map Option Parser Printf String

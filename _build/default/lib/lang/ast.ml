@@ -1,0 +1,149 @@
+(* Abstract syntax of MiniAndroid.
+
+   MiniAndroid is a small Java-like language with single inheritance,
+   instance/static fields, methods, anonymous inner classes (used
+   pervasively for Runnable / listener objects, as in real Android code)
+   and a [synchronized] statement for lockset analysis.
+
+   Anonymous classes are hoisted by the parser into fresh top-level
+   classes named ["Outer$n"]; their capture of the enclosing instance is
+   materialised by semantic analysis as an implicit [outer] field (see
+   {!Sema}). *)
+
+type ty =
+  | Tint
+  | Tbool
+  | Tstring
+  | Tvoid
+  | Tclass of string
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool | Tstring, Tstring | Tvoid, Tvoid -> true
+  | Tclass x, Tclass y -> String.equal x y
+  | (Tint | Tbool | Tstring | Tvoid | Tclass _), _ -> ignore ty_equal; false
+
+let pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tbool -> Fmt.string ppf "bool"
+  | Tstring -> Fmt.string ppf "string"
+  | Tvoid -> Fmt.string ppf "void"
+  | Tclass c -> Fmt.string ppf c
+
+type unop = Not | Neg
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+
+let pp_unop ppf = function Not -> Fmt.string ppf "!" | Neg -> Fmt.string ppf "-"
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*"
+    | Div -> "/"
+    | Mod -> "%"
+    | Eq -> "=="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | And -> "&&"
+    | Or -> "||")
+
+type expr = { e : expr_kind; eloc : Loc.t }
+
+and expr_kind =
+  | Null
+  | This
+  | IntLit of int
+  | BoolLit of bool
+  | StrLit of string
+  | Name of string
+      (** unresolved simple name: local variable, own field, or captured
+          outer field — resolved by {!Sema} *)
+  | FieldAcc of expr * string
+  | Call of expr option * string * expr list
+      (** [Call (None, m, args)] is an unqualified call [m(args)]
+          resolved against [this] / outer instances; [Call (Some r, ...)]
+          is [r.m(args)]. *)
+  | New of string * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type stmt = { s : stmt_kind; sloc : Loc.t }
+
+and stmt_kind =
+  | Decl of ty * string * expr option
+  | AssignName of string * expr  (** [x = e] — local, own field or outer field *)
+  | AssignField of expr * string * expr  (** [r.f = e] *)
+  | Expr of expr
+  | If of expr * block * block
+  | While of expr * block
+  | Return of expr option
+  | Sync of expr * block
+  | BlockStmt of block
+
+and block = stmt list
+
+type meth = {
+  m_name : string;
+  m_ret : ty;
+  m_params : (ty * string) list;
+  m_body : block;
+  m_loc : Loc.t;
+}
+
+type field = { f_name : string; f_ty : ty; f_static : bool; f_loc : Loc.t }
+
+type cls = {
+  c_name : string;
+  c_super : string option;
+  c_fields : field list;
+  c_methods : meth list;
+  c_anon : bool;  (** hoisted anonymous inner class *)
+  c_outer : string option;  (** enclosing class, for anonymous classes *)
+  c_loc : Loc.t;
+}
+
+type program = { p_classes : cls list }
+
+(* Helpers used throughout the frontend. *)
+
+let expr ?(loc = Loc.dummy) e = { e; eloc = loc }
+let stmt ?(loc = Loc.dummy) s = { s; sloc = loc }
+
+let find_class prog name = List.find_opt (fun c -> String.equal c.c_name name) prog.p_classes
+
+let find_method cls name = List.find_opt (fun m -> String.equal m.m_name name) cls.c_methods
+
+let find_field cls name = List.find_opt (fun f -> String.equal f.f_name name) cls.c_fields
+
+(* Structural size of an expression / statement, used by tests and by the
+   corpus generator to keep generated methods within realistic bounds. *)
+let rec expr_size e =
+  match e.e with
+  | Null | This | IntLit _ | BoolLit _ | StrLit _ | Name _ -> 1
+  | FieldAcc (r, _) -> 1 + expr_size r
+  | Call (r, _, args) ->
+      1
+      + (match r with Some r -> expr_size r | None -> 0)
+      + List.fold_left (fun acc a -> acc + expr_size a) 0 args
+  | New (_, args) -> 1 + List.fold_left (fun acc a -> acc + expr_size a) 0 args
+  | Unop (_, a) -> 1 + expr_size a
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+
+let rec stmt_size st =
+  match st.s with
+  | Decl (_, _, None) -> 1
+  | Decl (_, _, Some e) | AssignName (_, e) | Expr e | Return (Some e) -> 1 + expr_size e
+  | AssignField (r, _, e) -> 1 + expr_size r + expr_size e
+  | Return None -> 1
+  | If (c, a, b) -> (1 + expr_size c + block_size a) + block_size b
+  | While (c, b) -> 1 + expr_size c + block_size b
+  | Sync (l, b) -> 1 + expr_size l + block_size b
+  | BlockStmt b -> block_size b
+
+and block_size b = List.fold_left (fun acc st -> acc + stmt_size st) 0 b

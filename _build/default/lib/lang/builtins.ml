@@ -1,0 +1,181 @@
+(* Built-in Android framework surface, written in MiniAndroid itself.
+
+   These class declarations give the frontend signatures to typecheck
+   against. Methods whose body is empty here are *framework intrinsics*:
+   their real semantics live in the analysis ({!Nadroid_android.Api}) and
+   in the dynamic simulator. Plain helper methods (e.g. [Thread.init])
+   have ordinary bodies and are analysed/interpreted as user code.
+
+   The set of classes mirrors the callbacks and registration APIs the
+   paper enumerates in §4: Activity lifecycle + UI callbacks, Service /
+   BroadcastReceiver, Handler (post / sendMessage), AsyncTask, native
+   threads, and the cancellation APIs used by the CHB filter (§6.2.1). *)
+
+let source =
+  {|
+// ---- root ----------------------------------------------------------
+class Object { }
+
+class Binder { }
+
+class Message {
+  field int what;
+  method void init(int w) { this.what = w; }
+}
+
+class Intent { }
+
+class Location { }
+
+class View {
+  method void setOnClickListener(OnClickListener l) { }
+  method void setOnLongClickListener(OnLongClickListener l) { }
+  method void post(Runnable r) { }
+  method void setEnabled(bool b) { }
+}
+
+class Button extends View { }
+
+class OnClickListener {
+  method void onClick(View v) { }
+}
+
+class OnLongClickListener {
+  method void onLongClick(View v) { }
+}
+
+class Runnable {
+  method void run() { }
+}
+
+class Thread {
+  field Runnable target;
+  method void init(Runnable r) { this.target = r; }
+  method void start() { }
+  method void join() { }
+}
+
+class Executor {
+  method void execute(Runnable r) { }
+}
+
+class Looper { }
+
+class Handler {
+  method void post(Runnable r) { }
+  method void postDelayed(Runnable r, int delayMs) { }
+  method void sendMessage(Message m) { }
+  method void sendEmptyMessage(int what) { }
+  method void removeCallbacksAndMessages() { }
+  method void handleMessage(Message m) { }
+}
+
+class AsyncTask {
+  method void execute() { }
+  method void cancel(bool mayInterrupt) { }
+  method void publishProgress(int progress) { }
+  method void onPreExecute() { }
+  method void doInBackground() { }
+  method void onProgressUpdate(int progress) { }
+  method void onPostExecute() { }
+}
+
+class ServiceConnection {
+  method void onServiceConnected(Binder service) { }
+  method void onServiceDisconnected() { }
+}
+
+class LocationManager {
+  method void requestLocationUpdates(LocationListener l) { }
+  method void removeUpdates(LocationListener l) { }
+}
+
+class LocationListener {
+  method void onLocationChanged(Location loc) { }
+}
+
+class SensorManager {
+  method void registerListener(SensorListener l) { }
+  method void unregisterListener(SensorListener l) { }
+}
+
+class PowerManager {
+  method WakeLock newWakeLock(string tag) { return null; }
+}
+
+class WakeLock {
+  method void acquire() { }
+  method void release() { }
+}
+
+class SensorListener {
+  method void onSensorChanged(int value) { }
+}
+
+// ---- components -----------------------------------------------------
+class Context {
+  method void bindService(ServiceConnection conn) { }
+  method void unbindService(ServiceConnection conn) { }
+  method void registerReceiver(BroadcastReceiver r) { }
+  method void unregisterReceiver(BroadcastReceiver r) { }
+  method void startService(Intent i) { }
+  method LocationManager getLocationManager() { return null; }
+  method SensorManager getSensorManager() { return null; }
+  method PowerManager getPowerManager() { return null; }
+}
+
+class Activity extends Context {
+  // lifecycle callbacks (entry callbacks, §4.1)
+  method void onCreate() { }
+  method void onStart() { }
+  method void onResume() { }
+  method void onPause() { }
+  method void onStop() { }
+  method void onRestart() { }
+  method void onDestroy() { }
+  // other framework-invoked entry callbacks
+  method void onActivityResult(int code) { }
+  method void onCreateContextMenu() { }
+  method void onCreateOptionsMenu() { }
+  method void onRetainNonConfigurationInstance() { }
+  method void onBackPressed() { }
+  method void onConfigurationChanged() { }
+  method void onSaveInstanceState() { }
+  method void onNewIntent(Intent i) { }
+  // UI-thread utilities
+  method void runOnUiThread(Runnable r) { }
+  method View findViewById(int id) { return null; }
+  method void finish() { }
+}
+
+class Service extends Context {
+  method void onCreate() { }
+  method void onStartCommand(Intent i) { }
+  method Binder onBind(Intent i) { return null; }
+  method void onUnbind(Intent i) { }
+  method void onDestroy() { }
+  method void stopSelf() { }
+}
+
+class BroadcastReceiver {
+  method void onReceive(Intent i) { }
+}
+|}
+
+(* Parsed once; immutable afterwards. *)
+let program : Ast.program Lazy.t = lazy (Parser.parse_program ~file:"<builtins>" source)
+
+let class_names : string list Lazy.t =
+  lazy (List.map (fun c -> c.Ast.c_name) (Lazy.force program).Ast.p_classes)
+
+let is_builtin_class name = List.exists (String.equal name) (Lazy.force class_names)
+
+(* Intrinsic, unqualified functions available in any method body. *)
+let intrinsics : (string * (Ast.ty list * Ast.ty)) list =
+  [
+    ("log", ([ Ast.Tstring ], Ast.Tvoid));
+    ("sleep", ([ Ast.Tint ], Ast.Tvoid));
+    ("i2s", ([ Ast.Tint ], Ast.Tstring));
+  ]
+
+let intrinsic_sig name = List.assoc_opt name intrinsics

@@ -1,0 +1,20 @@
+(** The built-in Android framework surface, written in MiniAndroid
+    itself and parsed once at start-up.
+
+    Methods with empty bodies here are framework intrinsics whose real
+    semantics live in {!Nadroid_android.Api} (statically) and in the
+    simulator (dynamically); the few with real bodies ([Thread.init],
+    [Message.init]) are analysed like user code. *)
+
+val source : string
+(** The MiniAndroid source of all framework classes. *)
+
+val program : Ast.program Lazy.t
+
+val is_builtin_class : string -> bool
+
+val intrinsics : (string * (Ast.ty list * Ast.ty)) list
+(** Unqualified intrinsic functions ([log], [sleep], [i2s]) with their
+    signatures. *)
+
+val intrinsic_sig : string -> (Ast.ty list * Ast.ty) option

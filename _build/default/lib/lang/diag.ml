@@ -1,0 +1,31 @@
+(* Diagnostics for the MiniAndroid frontend.
+
+   The frontend never exits the process: all user-facing failures are
+   reported through the [Error] exception carrying a structured
+   diagnostic, so that library clients (tests, corpus generator, CLI) can
+   catch and render them uniformly. *)
+
+type severity = Err | Warn
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Error of t
+
+let error ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> raise (Error { severity = Err; loc; message })) fmt
+
+let warning ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> { severity = Warn; loc; message }) fmt
+
+let pp_severity ppf = function
+  | Err -> Fmt.string ppf "error"
+  | Warn -> Fmt.string ppf "warning"
+
+let pp ppf d =
+  if Loc.is_dummy d.loc then Fmt.pf ppf "%a: %s" pp_severity d.severity d.message
+  else Fmt.pf ppf "%a: %a: %s" Loc.pp d.loc pp_severity d.severity d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+(* Convenience for clients that prefer results over exceptions. *)
+let protect f = try Ok (f ()) with Error d -> Result.Error d

@@ -1,0 +1,24 @@
+(** Structured diagnostics for the MiniAndroid frontend.
+
+    The frontend never exits the process: user-facing failures raise
+    {!Error} with a structured diagnostic so library clients (tests,
+    corpus generator, CLI) can catch and render them uniformly. *)
+
+type severity = Err | Warn
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Error of t
+
+val error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ~loc fmt ...] raises {!Error} with the formatted message. *)
+
+val warning : ?loc:Loc.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [warning ~loc fmt ...] builds (but does not raise) a warning. *)
+
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a frontend computation, turning {!Error} into [Result.Error]. *)

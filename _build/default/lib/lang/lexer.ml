@@ -1,0 +1,179 @@
+(* Hand-written lexer for MiniAndroid.
+
+   The lexer works on a whole in-memory string (corpus apps are embedded
+   sources), tracks line/column positions for diagnostics, and skips both
+   [//] line comments and non-nesting [/* */] block comments. *)
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;  (* byte offset into [src] *)
+  mutable line : int;
+  mutable col : int;
+}
+
+let create ~file src = { src; file; pos = 0; line = 1; col = 1 }
+
+let loc lx = Loc.make ~file:lx.file ~line:lx.line ~col:lx.col
+
+let at_end lx = lx.pos >= String.length lx.src
+
+let peek lx = if at_end lx then None else Some lx.src.[lx.pos]
+
+let peek2 lx = if lx.pos + 1 >= String.length lx.src then None else Some lx.src.[lx.pos + 1]
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_alpha c || is_digit c
+
+let rec skip_trivia lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_trivia lx
+  | Some '/' -> (
+      match peek2 lx with
+      | Some '/' ->
+          while (not (at_end lx)) && peek lx <> Some '\n' do
+            advance lx
+          done;
+          skip_trivia lx
+      | Some '*' ->
+          let start = loc lx in
+          advance lx;
+          advance lx;
+          skip_block_comment lx start;
+          skip_trivia lx
+      | Some _ | None -> ())
+  | Some _ | None -> ()
+
+and skip_block_comment lx start =
+  match (peek lx, peek2 lx) with
+  | Some '*', Some '/' ->
+      advance lx;
+      advance lx
+  | Some _, _ ->
+      advance lx;
+      skip_block_comment lx start
+  | None, _ -> Diag.error ~loc:start "unterminated block comment"
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek lx with Some c -> is_ident_char c | None -> false) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let lex_int lx l =
+  let start = lx.pos in
+  while (match peek lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> Token.INT n
+  | None -> Diag.error ~loc:l "integer literal out of range: %s" s
+
+let lex_string lx l =
+  advance lx;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> Diag.error ~loc:l "unterminated string literal"
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+        advance lx;
+        match peek lx with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance lx;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance lx;
+            go ()
+        | Some ('"' | '\\') ->
+            Buffer.add_char buf lx.src.[lx.pos];
+            advance lx;
+            go ()
+        | Some c -> Diag.error ~loc:(loc lx) "invalid escape sequence: \\%c" c
+        | None -> Diag.error ~loc:l "unterminated string literal")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance lx;
+        go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+(* Returns the next token together with its start location. *)
+let next lx : Token.t * Loc.t =
+  skip_trivia lx;
+  let l = loc lx in
+  match peek lx with
+  | None -> (Token.EOF, l)
+  | Some c when is_digit c -> (lex_int lx l, l)
+  | Some '"' -> (lex_string lx l, l)
+  | Some c when is_alpha c ->
+      let s = lex_ident lx in
+      let tok =
+        match Token.keyword_of_string s with
+        | Some kw -> kw
+        | None ->
+            if s.[0] >= 'A' && s.[0] <= 'Z' then Token.UIDENT s else Token.IDENT s
+      in
+      (tok, l)
+  | Some c ->
+      let two t =
+        advance lx;
+        advance lx;
+        (t, l)
+      in
+      let one t =
+        advance lx;
+        (t, l)
+      in
+      (match (c, peek2 lx) with
+      | '=', Some '=' -> two Token.EQ
+      | '=', _ -> one Token.ASSIGN
+      | '!', Some '=' -> two Token.NE
+      | '!', _ -> one Token.BANG
+      | '<', Some '=' -> two Token.LE
+      | '<', _ -> one Token.LT
+      | '>', Some '=' -> two Token.GE
+      | '>', _ -> one Token.GT
+      | '&', Some '&' -> two Token.ANDAND
+      | '|', Some '|' -> two Token.OROR
+      | '{', _ -> one Token.LBRACE
+      | '}', _ -> one Token.RBRACE
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | ';', _ -> one Token.SEMI
+      | ',', _ -> one Token.COMMA
+      | '.', _ -> one Token.DOT
+      | '+', _ -> one Token.PLUS
+      | '-', _ -> one Token.MINUS
+      | '*', _ -> one Token.STAR
+      | '/', _ -> one Token.SLASH
+      | '%', _ -> one Token.PERCENT
+      | ('&' | '|'), _ -> Diag.error ~loc:l "unexpected character %C (did you mean %c%c?)" c c c
+      | _, _ -> Diag.error ~loc:l "unexpected character %C" c)
+
+(* Tokenize a whole source string; used by tests and by the parser. *)
+let tokenize ~file src =
+  let lx = create ~file src in
+  let rec go acc =
+    let tok, l = next lx in
+    match tok with Token.EOF -> List.rev ((tok, l) :: acc) | _ -> go ((tok, l) :: acc)
+  in
+  go []

@@ -1,0 +1,17 @@
+(** Hand-written lexer for MiniAndroid.
+
+    Operates on whole in-memory strings (corpus apps are embedded
+    sources), tracks line/column positions, and skips [//] line comments
+    and non-nesting [/* */] block comments. Lexical errors raise
+    {!Diag.Error}. *)
+
+type t
+
+val create : file:string -> string -> t
+
+val next : t -> Token.t * Loc.t
+(** The next token and its start location; returns {!Token.EOF} at the
+    end of input and keeps returning it afterwards. *)
+
+val tokenize : file:string -> string -> (Token.t * Loc.t) list
+(** The whole token stream, ending with a single {!Token.EOF}. *)

@@ -1,0 +1,29 @@
+(* Source locations for MiniAndroid programs.
+
+   Every AST node carries a [Loc.t] so that diagnostics, race reports and
+   the dynamic validator can point back at concrete source lines. *)
+
+type t = {
+  file : string;  (** source file name (or a synthetic name for corpus apps) *)
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let is_dummy l = l.line = 0
+
+let pp ppf l =
+  if is_dummy l then Fmt.string ppf "<no-loc>"
+  else Fmt.pf ppf "%s:%d:%d" l.file l.line l.col
+
+let to_string l = Fmt.str "%a" pp l
+
+let compare (a : t) (b : t) =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0

@@ -1,0 +1,26 @@
+(** Source locations.
+
+    Every AST node, IR instruction and diagnostic carries a location so
+    that race reports and simulator crashes can point back at concrete
+    source lines. *)
+
+type t = {
+  file : string;  (** source file name (or a synthetic corpus name) *)
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+val dummy : t
+(** A location for synthesized nodes; prints as ["<no-loc>"]. *)
+
+val make : file:string -> line:int -> col:int -> t
+
+val is_dummy : t -> bool
+
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for MiniAndroid.
+
+    Anonymous inner classes — [new Runnable() { ... }] — are hoisted
+    into fresh top-level classes named ["Outer$n"] with
+    {!Ast.cls.c_anon} set and {!Ast.cls.c_outer} recording the enclosing
+    class; the allocation site becomes a plain [New] of the hoisted
+    class. Syntax errors raise {!Diag.Error}. *)
+
+val parse_program : file:string -> string -> Ast.program

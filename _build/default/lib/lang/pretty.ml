@@ -1,0 +1,97 @@
+(* Pretty-printer for MiniAndroid ASTs.
+
+   Printing followed by re-parsing must yield a structurally equal AST
+   (modulo locations and anonymous-class hoisting, which the parser has
+   already performed by the time we print) — a property the test suite
+   checks with qcheck round-trip tests. *)
+
+open Ast
+
+let pp_ty = Ast.pp_ty
+
+(* Precedence levels, higher binds tighter. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let rec pp_expr_prec prec ppf (e : expr) =
+  match e.e with
+  | Null -> Fmt.string ppf "null"
+  | This -> Fmt.string ppf "this"
+  | IntLit n -> if n < 0 then Fmt.pf ppf "(%d)" n else Fmt.int ppf n
+  | BoolLit b -> Fmt.bool ppf b
+  | StrLit s -> Fmt.pf ppf "%S" s
+  | Name x -> Fmt.string ppf x
+  | FieldAcc (r, f) -> Fmt.pf ppf "%a.%s" (pp_expr_prec 10) r f
+  | Call (None, m, args) -> Fmt.pf ppf "%s(%a)" m pp_args args
+  | Call (Some r, m, args) -> Fmt.pf ppf "%a.%s(%a)" (pp_expr_prec 10) r m pp_args args
+  | New (c, args) -> Fmt.pf ppf "new %s(%a)" c pp_args args
+  | Unop (op, a) -> Fmt.pf ppf "%a%a" pp_unop op (pp_expr_prec 9) a
+  | Binop (op, a, b) ->
+      let p = binop_prec op in
+      (* parenthesisation must mirror the parser's associativity:
+         arithmetic is left-associative, && / || are right-associative,
+         and comparisons are non-associative (parens on both sides) *)
+      let lp, rp =
+        match op with
+        | Eq | Ne | Lt | Le | Gt | Ge -> (p + 1, p + 1)
+        | And | Or -> (p + 1, p)
+        | Add | Sub | Mul | Div | Mod -> (p, p + 1)
+      in
+      let body ppf () =
+        Fmt.pf ppf "%a %a %a" (pp_expr_prec lp) a pp_binop op (pp_expr_prec rp) b
+      in
+      if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+
+and pp_args ppf args = Fmt.(list ~sep:(any ", ") (pp_expr_prec 0)) ppf args
+
+let pp_expr = pp_expr_prec 0
+
+let rec pp_stmt ind ppf (st : stmt) =
+  let pad = String.make (2 * ind) ' ' in
+  match st.s with
+  | Decl (ty, x, None) -> Fmt.pf ppf "%svar %a %s;" pad pp_ty ty x
+  | Decl (ty, x, Some e) -> Fmt.pf ppf "%svar %a %s = %a;" pad pp_ty ty x pp_expr e
+  | AssignName (x, e) -> Fmt.pf ppf "%s%s = %a;" pad x pp_expr e
+  | AssignField (r, f, e) -> Fmt.pf ppf "%s%a.%s = %a;" pad (pp_expr_prec 10) r f pp_expr e
+  | Expr e -> Fmt.pf ppf "%s%a;" pad pp_expr e
+  | If (c, a, []) -> Fmt.pf ppf "%sif (%a) {@\n%a%s}" pad pp_expr c (pp_block (ind + 1)) a pad
+  | If (c, a, b) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a%s} else {@\n%a%s}" pad pp_expr c (pp_block (ind + 1)) a pad
+        (pp_block (ind + 1)) b pad
+  | While (c, b) -> Fmt.pf ppf "%swhile (%a) {@\n%a%s}" pad pp_expr c (pp_block (ind + 1)) b pad
+  | Return None -> Fmt.pf ppf "%sreturn;" pad
+  | Return (Some e) -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | Sync (l, b) ->
+      Fmt.pf ppf "%ssynchronized (%a) {@\n%a%s}" pad pp_expr l (pp_block (ind + 1)) b pad
+  | BlockStmt b -> Fmt.pf ppf "%s{@\n%a%s}" pad (pp_block (ind + 1)) b pad
+
+and pp_block ind ppf (b : block) =
+  List.iter (fun st -> Fmt.pf ppf "%a@\n" (pp_stmt ind) st) b
+
+let pp_field ppf (f : field) =
+  if f.f_static then Fmt.pf ppf "  static field %a %s;" pp_ty f.f_ty f.f_name
+  else Fmt.pf ppf "  field %a %s;" pp_ty f.f_ty f.f_name
+
+let pp_meth ppf (m : meth) =
+  let pp_param ppf (ty, name) = Fmt.pf ppf "%a %s" pp_ty ty name in
+  Fmt.pf ppf "  method %a %s(%a) {@\n%a  }" pp_ty m.m_ret m.m_name
+    Fmt.(list ~sep:(any ", ") pp_param)
+    m.m_params (pp_block 2) m.m_body
+
+let pp_cls ppf (c : cls) =
+  (match c.c_super with
+  | None -> Fmt.pf ppf "class %s {@\n" c.c_name
+  | Some s -> Fmt.pf ppf "class %s extends %s {@\n" c.c_name s);
+  List.iter (fun f -> Fmt.pf ppf "%a@\n" pp_field f) c.c_fields;
+  List.iter (fun m -> Fmt.pf ppf "%a@\n" pp_meth m) c.c_methods;
+  Fmt.pf ppf "}"
+
+let pp_program ppf (p : program) =
+  List.iter (fun c -> Fmt.pf ppf "%a@\n@\n" pp_cls c) p.p_classes
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,22 @@
+(** Pretty-printer for MiniAndroid ASTs.
+
+    Printing followed by re-parsing is a fixpoint: parenthesisation
+    mirrors the parser's associativity exactly (arithmetic left, [&&] /
+    [||] right, comparisons non-associative) — a property checked by the
+    qcheck round-trip tests. *)
+
+val pp_ty : Ast.ty Fmt.t
+
+val pp_expr : Ast.expr Fmt.t
+
+val pp_stmt : int -> Ast.stmt Fmt.t
+(** [pp_stmt indent] prints one statement at the given indentation
+    depth (two spaces per level). *)
+
+val pp_block : int -> Ast.block Fmt.t
+
+val pp_cls : Ast.cls Fmt.t
+
+val pp_program : Ast.program Fmt.t
+
+val program_to_string : Ast.program -> string

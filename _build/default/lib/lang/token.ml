@@ -1,0 +1,130 @@
+(* Lexical tokens of MiniAndroid. *)
+
+type t =
+  (* literals and names *)
+  | INT of int
+  | STRING of string
+  | IDENT of string  (** lowercase-initial identifier *)
+  | UIDENT of string  (** uppercase-initial identifier: class names *)
+  (* keywords *)
+  | KW_CLASS
+  | KW_EXTENDS
+  | KW_FIELD
+  | KW_STATIC
+  | KW_METHOD
+  | KW_VAR
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_NEW
+  | KW_NULL
+  | KW_THIS
+  | KW_TRUE
+  | KW_FALSE
+  | KW_SYNCHRONIZED
+  | KW_INT
+  | KW_BOOL
+  | KW_STRING
+  | KW_VOID
+  (* punctuation *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | COMMA
+  | DOT
+  (* operators *)
+  | ASSIGN  (** [=] *)
+  | EQ  (** [==] *)
+  | NE  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let keyword_table : (string * t) list =
+  [
+    ("class", KW_CLASS);
+    ("extends", KW_EXTENDS);
+    ("field", KW_FIELD);
+    ("static", KW_STATIC);
+    ("method", KW_METHOD);
+    ("var", KW_VAR);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("while", KW_WHILE);
+    ("return", KW_RETURN);
+    ("new", KW_NEW);
+    ("null", KW_NULL);
+    ("this", KW_THIS);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE);
+    ("synchronized", KW_SYNCHRONIZED);
+    ("int", KW_INT);
+    ("bool", KW_BOOL);
+    ("string", KW_STRING);
+    ("void", KW_VOID);
+  ]
+
+let keyword_of_string s = List.assoc_opt s keyword_table
+
+let to_string = function
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s | UIDENT s -> s
+  | KW_CLASS -> "class"
+  | KW_EXTENDS -> "extends"
+  | KW_FIELD -> "field"
+  | KW_STATIC -> "static"
+  | KW_METHOD -> "method"
+  | KW_VAR -> "var"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | KW_NEW -> "new"
+  | KW_NULL -> "null"
+  | KW_THIS -> "this"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_SYNCHRONIZED -> "synchronized"
+  | KW_INT -> "int"
+  | KW_BOOL -> "bool"
+  | KW_STRING -> "string"
+  | KW_VOID -> "void"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | ASSIGN -> "="
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Cfg Escape Fmt Guards Instr List Lockset Nadroid_analysis Nadroid_android Nadroid_ir Nadroid_lang Prog Pta Sema String

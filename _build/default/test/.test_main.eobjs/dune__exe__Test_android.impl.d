@@ -1,0 +1,1 @@
+test/test_android.ml: Alcotest Api Callback Component Lifecycle List Nadroid_android Nadroid_lang QCheck2 QCheck_alcotest Sema String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring Classify Detect Filters Fmt List Nadroid_core Nadroid_corpus Pipeline Report String Threadify

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Apps_test Corpus Gen Lazy List Nadroid_core Nadroid_corpus Nadroid_lang Option Spec String

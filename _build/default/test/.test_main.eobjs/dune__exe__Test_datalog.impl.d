@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Engine Hashtbl List Nadroid_datalog QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_deva.ml: Alcotest List Nadroid_deva Nadroid_ir Prog String

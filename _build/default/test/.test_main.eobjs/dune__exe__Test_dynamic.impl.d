@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Explorer Fmt Instr Interp List Nadroid_core Nadroid_corpus Nadroid_dynamic Nadroid_ir Option Prog String World

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Energy Fmt List Nadroid_core Nadroid_dynamic Nadroid_ir Pipeline String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ast Cfg Dataflow Instr Int List Nadroid_ir Nadroid_lang Prog Sema Set String

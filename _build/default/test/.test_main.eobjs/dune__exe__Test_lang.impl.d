@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Diag Fmt Lazy Lexer List Loc Nadroid_corpus Nadroid_lang Parser Pretty Printf QCheck2 QCheck_alcotest Sema String Token

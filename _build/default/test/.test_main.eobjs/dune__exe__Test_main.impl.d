@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_android Test_core Test_corpus Test_datalog Test_deva Test_dynamic Test_energy Test_ir Test_lang Test_more Test_props

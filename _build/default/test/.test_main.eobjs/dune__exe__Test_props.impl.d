@@ -1,0 +1,1 @@
+test/test_props.ml: Lazy List Nadroid_core Nadroid_corpus Nadroid_dynamic Nadroid_ir QCheck2 QCheck_alcotest

@@ -1,0 +1,372 @@
+(* Static-analysis tests: k-object-sensitive points-to + on-the-fly call
+   graph, thread-escape, must-held locksets, and the guard/allocation
+   dataflow behind the IG/IA/MA/UR filters. *)
+
+open Nadroid_lang
+open Nadroid_ir
+open Nadroid_analysis
+module IntSet = Pta.IntSet
+
+let prog_of src = Prog.of_source ~file:"t" src
+
+let pta_of ?k src = Pta.run ?k (prog_of src)
+
+let has_edge pta ~from_meth ~to_meth ~kind_str =
+  List.exists
+    (fun (e : Pta.call_edge) ->
+      let f = (Pta.instance pta e.Pta.ce_from).Pta.i_mref in
+      let t = (Pta.instance pta e.Pta.ce_to).Pta.i_mref in
+      let k =
+        match e.Pta.ce_kind with
+        | Pta.E_ordinary -> "ord"
+        | Pta.E_api k -> Fmt.str "%a" Nadroid_android.Api.pp k
+      in
+      String.equal (Fmt.str "%a" Instr.pp_mref f) from_meth
+      && String.equal (Fmt.str "%a" Instr.pp_mref t) to_meth
+      && String.equal k kind_str)
+    (Pta.edges pta)
+
+let pta_tests =
+  [
+    Alcotest.test_case "entry callbacks become roots" `Quick (fun () ->
+        let pta =
+          pta_of "class A extends Activity { method void onCreate() { } method void onPause() \
+                  { } }"
+        in
+        Alcotest.(check int) "two roots" 2 (List.length (Pta.roots pta)));
+    Alcotest.test_case "virtual dispatch through points-to" `Quick (fun () ->
+        let pta =
+          pta_of
+            "class Base { method void go() { } } class Derived extends Base { method void go() \
+             { log(\"d\"); } } class A extends Activity { method void onCreate() { var Base b \
+             = new Derived(); b.go(); } }"
+        in
+        Alcotest.(check bool) "dispatches to Derived.go" true
+          (has_edge pta ~from_meth:"A.onCreate" ~to_meth:"Derived.go" ~kind_str:"ord"));
+    Alcotest.test_case "thread start dispatches the stored target" `Quick (fun () ->
+        let pta =
+          pta_of
+            "class W extends Runnable { method void run() { } } class A extends Activity { \
+             method void onCreate() { new Thread(new W()).start(); } }"
+        in
+        Alcotest.(check bool) "spawn edge" true
+          (has_edge pta ~from_meth:"A.onCreate" ~to_meth:"W.run" ~kind_str:"spawn:thread"));
+    Alcotest.test_case "bindService dispatches both connection callbacks" `Quick (fun () ->
+        let pta =
+          pta_of
+            "class A extends Activity { method void onCreate() { this.bindService(new \
+             ServiceConnection() { method void onServiceConnected(Binder b) { } method void \
+             onServiceDisconnected() { } }); } }"
+        in
+        Alcotest.(check bool) "connected" true
+          (has_edge pta ~from_meth:"A.onCreate" ~to_meth:"A$1.onServiceConnected"
+             ~kind_str:"register:service");
+        Alcotest.(check bool) "disconnected" true
+          (has_edge pta ~from_meth:"A.onCreate" ~to_meth:"A$1.onServiceDisconnected"
+             ~kind_str:"register:service"));
+    Alcotest.test_case "handler post reaches run" `Quick (fun () ->
+        let pta =
+          pta_of
+            "class A extends Activity { field Handler h; method void onCreate() { h = new \
+             Handler(); h.post(new Runnable() { method void run() { } }); } }"
+        in
+        Alcotest.(check bool) "post edge" true
+          (has_edge pta ~from_meth:"A.onCreate" ~to_meth:"A$1.run" ~kind_str:"post:runnable"));
+    Alcotest.test_case "asynctask callbacks dispatched" `Quick (fun () ->
+        let pta =
+          pta_of
+            "class A extends Activity { method void onCreate() { new AsyncTask() { method \
+             void doInBackground() { } method void onPostExecute() { } }.execute(); } }"
+        in
+        Alcotest.(check bool) "background" true
+          (has_edge pta ~from_meth:"A.onCreate" ~to_meth:"A$1.doInBackground"
+             ~kind_str:"spawn:asynctask");
+        Alcotest.(check bool) "post execute" true
+          (has_edge pta ~from_meth:"A.onCreate" ~to_meth:"A$1.onPostExecute"
+             ~kind_str:"spawn:asynctask"));
+    Alcotest.test_case "opaque factory returns a synthetic object" `Quick (fun () ->
+        let pta =
+          pta_of
+            "class A extends Activity { method void onCreate() { var View v = \
+             this.findViewById(3); v.setOnClickListener(new OnClickListener() { method void \
+             onClick(View w) { } }); } }"
+        in
+        Alcotest.(check bool) "click registration seen" true
+          (has_edge pta ~from_meth:"A.onCreate" ~to_meth:"A$1.onClick" ~kind_str:"register:click"));
+    Alcotest.test_case "field flow through the heap" `Quick (fun () ->
+        let pta =
+          pta_of
+            "class Box { field Runnable content; } class A extends Activity { field Box box; \
+             method void onCreate() { box = new Box(); box.content = new Runnable() { method \
+             void run() { } }; } method void onResume() { var Runnable r = box.content; \
+             r.run(); } }"
+        in
+        Alcotest.(check bool) "run dispatched from load" true
+          (has_edge pta ~from_meth:"A.onResume" ~to_meth:"A$1.run" ~kind_str:"ord"));
+    Alcotest.test_case "k=2 separates factory allocations; k=0/1 merge them" `Quick (fun () ->
+        let src =
+          "class Data { } class Base extends Activity { method Data mk() { return new Data(); \
+           } } class A extends Base { field Data d; method void onCreate() { d = this.mk(); } \
+           } class B extends Base { field Data d; method void onCreate() { d = this.mk(); } }"
+        in
+        let count_data_objs pta =
+          let n = ref 0 in
+          for i = 0 to Pta.n_objects pta - 1 do
+            if String.equal (Pta.obj_class (Pta.obj pta i)) "Data" then incr n
+          done;
+          !n
+        in
+        Alcotest.(check int) "k=0 merges" 1 (count_data_objs (pta_of ~k:0 src));
+        Alcotest.(check int) "k=1 merges" 1 (count_data_objs (pta_of ~k:1 src));
+        Alcotest.(check int) "k=2 separates" 2 (count_data_objs (pta_of ~k:2 src)));
+    Alcotest.test_case "returns flow back to callers" `Quick (fun () ->
+        let pta =
+          pta_of
+            "class P { method void ping() { } } class A extends Activity { method P get() { \
+             return new P(); } method void onCreate() { var P p = this.get(); p.ping(); } }"
+        in
+        Alcotest.(check bool) "ping dispatched" true
+          (has_edge pta ~from_meth:"A.onCreate" ~to_meth:"P.ping" ~kind_str:"ord"));
+    Alcotest.test_case "unreachable code is not analysed" `Quick (fun () ->
+        let pta =
+          pta_of
+            "class Orphan { method void lost() { log(\"never\"); } } class A extends Activity \
+             { method void onCreate() { } }"
+        in
+        Alcotest.(check bool) "no instance of Orphan.lost" true
+          (not
+             (List.exists
+                (fun (i : Pta.instance) ->
+                  String.equal i.Pta.i_mref.Instr.mr_class "Orphan")
+                (Pta.instances pta))));
+  ]
+
+let escape_tests =
+  [
+    Alcotest.test_case "component fields escape, callback-locals do not" `Quick (fun () ->
+        let src =
+          "class Data { } class A extends Activity { field Data shared; method void onCreate() \
+           { shared = new Data(); var Data local = new Data(); } method void onPause() { \
+           shared = null; } }"
+        in
+        let pta = pta_of src in
+        let esc = Escape.run pta in
+        (* find the two Data objects by allocation index *)
+        let escaping_data = ref 0 and total_data = ref 0 in
+        for i = 0 to Pta.n_objects pta - 1 do
+          if String.equal (Pta.obj_class (Pta.obj pta i)) "Data" then begin
+            incr total_data;
+            if Escape.escapes esc i then incr escaping_data
+          end
+        done;
+        Alcotest.(check int) "two Data objects" 2 !total_data;
+        Alcotest.(check int) "only the shared one escapes" 1 !escaping_data);
+    Alcotest.test_case "static fields escape" `Quick (fun () ->
+        let src =
+          "class Data { } class A extends Activity { static field Data cache; method void \
+           onCreate() { cache = new Data(); } }"
+        in
+        let pta = pta_of src in
+        let esc = Escape.run pta in
+        let any_data_escapes = ref false in
+        for i = 0 to Pta.n_objects pta - 1 do
+          if String.equal (Pta.obj_class (Pta.obj pta i)) "Data" && Escape.escapes esc i then
+            any_data_escapes := true
+        done;
+        Alcotest.(check bool) "escapes" true !any_data_escapes);
+  ]
+
+let lockset_tests =
+  let src =
+    "class Data { method void op() { } } class A extends Activity { field Data lock; field \
+     Data d; method void onCreate() { lock = new Data(); d = new Data(); } method void \
+     onPause() { synchronized (lock) { d.op(); } d.op(); } }"
+  in
+  [
+    Alcotest.test_case "lock held inside, empty outside" `Quick (fun () ->
+        let prog = prog_of src in
+        let pta = Pta.run prog in
+        let locks = Lockset.run pta in
+        (* find the onPause instance and its two calls to op *)
+        let inst =
+          List.find
+            (fun (i : Pta.instance) ->
+              String.equal (Fmt.str "%a" Instr.pp_mref i.Pta.i_mref) "A.onPause")
+            (Pta.instances pta)
+        in
+        let body = Prog.body_exn prog inst.Pta.i_mref in
+        let calls =
+          Cfg.fold_instrs
+            (fun acc i ->
+              match i.Instr.i with
+              | Instr.Call (_, _, ms, _) when String.equal ms.Sema.ms_name "op" -> i :: acc
+              | _ -> acc)
+            [] body
+          |> List.rev
+        in
+        match calls with
+        | [ inside; outside ] ->
+            Alcotest.(check bool) "held inside" false
+              (IntSet.is_empty (Lockset.locks_at locks ~inst:inst.Pta.i_id ~instr_id:inside.Instr.id));
+            Alcotest.(check bool) "free outside" true
+              (IntSet.is_empty (Lockset.locks_at locks ~inst:inst.Pta.i_id ~instr_id:outside.Instr.id))
+        | _ -> Alcotest.fail "expected two calls");
+    Alcotest.test_case "locks propagate into callees" `Quick (fun () ->
+        let src =
+          "class Data { } class A extends Activity { field Data lock; field Data d; method \
+           void helper() { d = null; } method void onPause() { synchronized (lock) { \
+           this.helper(); } } method void onCreate() { lock = new Data(); } }"
+        in
+        let prog = prog_of src in
+        let pta = Pta.run prog in
+        let locks = Lockset.run pta in
+        let inst =
+          List.find
+            (fun (i : Pta.instance) ->
+              String.equal (Fmt.str "%a" Instr.pp_mref i.Pta.i_mref) "A.helper")
+            (Pta.instances pta)
+        in
+        let body = Prog.body_exn prog inst.Pta.i_mref in
+        let put =
+          Cfg.fold_instrs
+            (fun acc i ->
+              match i.Instr.i with Instr.Putfield _ -> Some i | _ -> acc)
+            None body
+        in
+        match put with
+        | Some i ->
+            Alcotest.(check bool) "held in callee" false
+              (IntSet.is_empty (Lockset.locks_at locks ~inst:inst.Pta.i_id ~instr_id:i.Instr.id))
+        | None -> Alcotest.fail "no putfield");
+  ]
+
+(* -- guards -------------------------------------------------------------- *)
+
+let guards_of src ~meth =
+  let prog = prog_of src in
+  let body = Prog.body_exn prog { Instr.mr_class = "A"; mr_name = meth } in
+  (Guards.analyze body, body)
+
+let first_use body =
+  match
+    Cfg.fold_instrs
+      (fun acc i -> match i.Instr.i with Instr.Getfield _ when acc = None -> Some i | _ -> acc)
+      None body
+  with
+  | Some i -> i
+  | None -> Alcotest.fail "no getfield in body"
+
+let last_use body =
+  match
+    Cfg.fold_instrs
+      (fun acc i -> match i.Instr.i with Instr.Getfield _ -> Some i | _ -> acc)
+      None body
+  with
+  | Some i -> i
+  | None -> Alcotest.fail "no getfield in body"
+
+let guards_tests =
+  [
+    Alcotest.test_case "guarded use recognised (field fact)" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void m() { if (d != null) { d.op(); } } }"
+            ~meth:"m"
+        in
+        Alcotest.(check bool) "guarded" true (Guards.is_guarded_use g ~instr:(last_use body)));
+    Alcotest.test_case "unguarded use not recognised" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void m() { d.op(); } }"
+            ~meth:"m"
+        in
+        Alcotest.(check bool) "not guarded" false
+          (Guards.is_guarded_use g ~instr:(first_use body)));
+    Alcotest.test_case "guard via checked local" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void m() { var Data x = d; if (x != null) { x.op(); } } }"
+            ~meth:"m"
+        in
+        Alcotest.(check bool) "guarded via local" true
+          (Guards.is_guarded_use g ~instr:(first_use body)));
+    Alcotest.test_case "guard killed by an intervening free" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void m() { if (d != null) { d = null; d.op(); } } }"
+            ~meth:"m"
+        in
+        (* the second read of d happens after d = null: the field fact is
+           gone, and the loaded temp is never null-checked *)
+        Alcotest.(check bool) "fact killed" false
+          (Guards.is_guarded_use g ~instr:(last_use body)));
+    Alcotest.test_case "must-allocation before use" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void m() { d = new Data(); d.op(); } }"
+            ~meth:"m"
+        in
+        Alcotest.(check bool) "must alloc" true
+          (Guards.is_must_alloc_use g ~instr:(last_use body)));
+    Alcotest.test_case "allocation on one branch only is not must" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void m(bool p) { if (p) { d = new Data(); } d.op(); } }"
+            ~meth:"m"
+        in
+        Alcotest.(check bool) "not must" false
+          (Guards.is_must_alloc_use g ~instr:(last_use body));
+        Alcotest.(check bool) "but may" true (Guards.may_allocates g
+             (match (last_use body).Instr.i with
+             | Instr.Getfield (_, _, fr) -> fr
+             | _ -> Alcotest.fail "use")));
+    Alcotest.test_case "getter counts only for maybe-allocation" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method Data mk() { return new Data(); } method void m() { d = this.mk(); d.op(); \
+             } }"
+            ~meth:"m"
+        in
+        Alcotest.(check bool) "not IA" false (Guards.is_must_alloc_use g ~instr:(last_use body));
+        Alcotest.(check bool) "but MA" true (Guards.is_maybe_alloc_use g ~instr:(last_use body)));
+    Alcotest.test_case "used-for-return" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { } class A extends Activity { field Data d; method Data peek() { \
+             return d; } }"
+            ~meth:"peek"
+        in
+        Alcotest.(check bool) "UR" true (Guards.is_used_for_return g ~instr:(first_use body)));
+    Alcotest.test_case "dereferenced load is not used-for-return" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void m() { d.op(); } }"
+            ~meth:"m"
+        in
+        Alcotest.(check bool) "not UR" false (Guards.is_used_for_return g ~instr:(first_use body)));
+    Alcotest.test_case "argument-only load is used-for-return" `Quick (fun () ->
+        let g, body =
+          guards_of
+            "class Data { } class A extends Activity { field Data d; method void sink(Data x) \
+             { } method void m() { this.sink(d); } }"
+            ~meth:"m"
+        in
+        Alcotest.(check bool) "UR as argument" true
+          (Guards.is_used_for_return g ~instr:(first_use body)));
+  ]
+
+let suite =
+  [
+    ("pta", pta_tests);
+    ("escape", escape_tests);
+    ("lockset", lockset_tests);
+    ("guards", guards_tests);
+  ]

@@ -1,0 +1,196 @@
+(* Android model tests: callback classification, API classification, the
+   lifecycle automaton and its must-happens-before relation, component
+   discovery. *)
+
+open Nadroid_lang
+open Nadroid_android
+
+let sema src = Sema.of_source ~file:"t" src
+
+let callback_tests =
+  [
+    Alcotest.test_case "activity lifecycle override" `Quick (fun () ->
+        let s = sema "class A extends Activity { method void onResume() { } }" in
+        match Callback.of_method s ~cls:"A" ~meth:"onResume" with
+        | Some (Callback.Lifecycle "onResume") -> ()
+        | _ -> Alcotest.fail "expected lifecycle classification");
+    Alcotest.test_case "ui callback override" `Quick (fun () ->
+        let s = sema "class A extends Activity { method void onBackPressed() { } }" in
+        match Callback.of_method s ~cls:"A" ~meth:"onBackPressed" with
+        | Some (Callback.Ui _) -> ()
+        | _ -> Alcotest.fail "expected ui classification");
+    Alcotest.test_case "listener override" `Quick (fun () ->
+        let s = sema "class L extends OnClickListener { method void onClick(View v) { } }" in
+        match Callback.of_method s ~cls:"L" ~meth:"onClick" with
+        | Some (Callback.Ui "onClick") -> ()
+        | _ -> Alcotest.fail "expected onClick");
+    Alcotest.test_case "service connection callbacks" `Quick (fun () ->
+        let s =
+          sema
+            "class Conn extends ServiceConnection { method void onServiceConnected(Binder b) { \
+             } method void onServiceDisconnected() { } }"
+        in
+        (match Callback.of_method s ~cls:"Conn" ~meth:"onServiceConnected" with
+        | Some (Callback.Service_conn `Connected) -> ()
+        | _ -> Alcotest.fail "connected");
+        match Callback.of_method s ~cls:"Conn" ~meth:"onServiceDisconnected" with
+        | Some (Callback.Service_conn `Disconnected) -> ()
+        | _ -> Alcotest.fail "disconnected");
+    Alcotest.test_case "inherited callback through user base class" `Quick (fun () ->
+        let s =
+          sema
+            "class Base extends Activity { method void onPause() { } } class A extends Base { \
+             }"
+        in
+        match Callback.of_method s ~cls:"A" ~meth:"onPause" with
+        | Some (Callback.Lifecycle "onPause") -> ()
+        | _ -> Alcotest.fail "expected inherited classification");
+    Alcotest.test_case "ordinary method is not a callback" `Quick (fun () ->
+        let s = sema "class A extends Activity { method void refresh() { } }" in
+        Alcotest.(check bool) "none" true (Callback.of_method s ~cls:"A" ~meth:"refresh" = None));
+    Alcotest.test_case "onX name without framework super is not a callback" `Quick (fun () ->
+        let s = sema "class Frag { method void onResume() { } }" in
+        Alcotest.(check bool) "none" true (Callback.of_method s ~cls:"Frag" ~meth:"onResume" = None));
+    Alcotest.test_case "doInBackground runs off the looper" `Quick (fun () ->
+        Alcotest.(check bool) "bg" false (Callback.on_looper (Callback.Async `Background));
+        Alcotest.(check bool) "post" true (Callback.on_looper (Callback.Async `Post));
+        Alcotest.(check bool) "run" true (Callback.on_looper Callback.Runnable_run));
+  ]
+
+let api_sig ~cls ~meth =
+  let s = sema "class Dummy { }" in
+  match Sema.lookup_method s cls meth with
+  | Some ms -> ms
+  | None -> Alcotest.failf "no such builtin method %s.%s" cls meth
+
+let api_tests =
+  [
+    Alcotest.test_case "spawn classification" `Quick (fun () ->
+        Alcotest.(check bool) "thread.start" true
+          (Api.classify (api_sig ~cls:"Thread" ~meth:"start") = Api.Spawn Api.Spawn_thread);
+        Alcotest.(check bool) "executor.execute" true
+          (Api.classify (api_sig ~cls:"Executor" ~meth:"execute") = Api.Spawn Api.Spawn_executor);
+        Alcotest.(check bool) "asynctask.execute" true
+          (Api.classify (api_sig ~cls:"AsyncTask" ~meth:"execute") = Api.Spawn Api.Spawn_async_task));
+    Alcotest.test_case "post classification" `Quick (fun () ->
+        Alcotest.(check bool) "handler.post" true
+          (Api.classify (api_sig ~cls:"Handler" ~meth:"post") = Api.Post Api.Post_runnable);
+        Alcotest.(check bool) "runOnUiThread" true
+          (Api.classify (api_sig ~cls:"Activity" ~meth:"runOnUiThread") = Api.Post Api.Post_runnable);
+        Alcotest.(check bool) "sendMessage" true
+          (Api.classify (api_sig ~cls:"Handler" ~meth:"sendMessage") = Api.Post Api.Post_message));
+    Alcotest.test_case "register and cancel classification" `Quick (fun () ->
+        Alcotest.(check bool) "bindService" true
+          (Api.classify (api_sig ~cls:"Activity" ~meth:"bindService") = Api.Register Api.Reg_service);
+        Alcotest.(check bool) "finish" true
+          (Api.classify (api_sig ~cls:"Activity" ~meth:"finish") = Api.Cancel Api.Cancel_finish);
+        Alcotest.(check bool) "removeCallbacks" true
+          (Api.classify (api_sig ~cls:"Handler" ~meth:"removeCallbacksAndMessages")
+          = Api.Cancel Api.Cancel_remove_callbacks));
+    Alcotest.test_case "triggered callbacks of a registration" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "service conn"
+          [ "onServiceConnected"; "onServiceDisconnected" ]
+          (Api.triggered_callbacks (Api.Register Api.Reg_service));
+        Alcotest.(check (list string))
+          "asynctask"
+          [ "onPreExecute"; "doInBackground"; "onProgressUpdate"; "onPostExecute" ]
+          (Api.triggered_callbacks (Api.Spawn Api.Spawn_async_task)));
+    Alcotest.test_case "user methods are Other" `Quick (fun () ->
+        let s = sema "class A { method void post() { } }" in
+        match Sema.lookup_method s "A" "post" with
+        | Some ms -> Alcotest.(check bool) "other" true (Api.classify ms = Api.Other)
+        | None -> Alcotest.fail "missing method");
+  ]
+
+let lifecycle_tests =
+  [
+    Alcotest.test_case "canonical happy path" `Quick (fun () ->
+        let s =
+          List.fold_left
+            (fun st cb ->
+              match Lifecycle.step st cb with
+              | Some st' -> st'
+              | None -> Alcotest.failf "transition %s refused" cb)
+            Lifecycle.initial
+            [ "onCreate"; "onStart"; "onResume"; "onPause"; "onStop"; "onDestroy" ]
+        in
+        Alcotest.(check bool) "destroyed" true (s = Lifecycle.S_destroyed));
+    Alcotest.test_case "back edges exist" `Quick (fun () ->
+        Alcotest.(check bool) "pause->resume" true
+          (Lifecycle.step Lifecycle.S_paused "onResume" = Some Lifecycle.S_resumed);
+        Alcotest.(check bool) "stop->restart" true
+          (Lifecycle.step Lifecycle.S_stopped "onRestart" = Some Lifecycle.S_started));
+    Alcotest.test_case "invalid transitions refused" `Quick (fun () ->
+        Alcotest.(check bool) "no early resume" true
+          (Lifecycle.step Lifecycle.S_init "onResume" = None);
+        Alcotest.(check bool) "no resurrection" true
+          (Lifecycle.step Lifecycle.S_destroyed "onCreate" = None));
+    Alcotest.test_case "must_happen_before is onCreate-first / onDestroy-last" `Quick (fun () ->
+        Alcotest.(check bool) "create < click" true
+          (Lifecycle.must_happen_before ~first:"onCreate" ~second:"onClick");
+        Alcotest.(check bool) "click < destroy" true
+          (Lifecycle.must_happen_before ~first:"onClick" ~second:"onDestroy");
+        Alcotest.(check bool) "no resume < pause" false
+          (Lifecycle.must_happen_before ~first:"onResume" ~second:"onPause");
+        Alcotest.(check bool) "no pause < resume" false
+          (Lifecycle.must_happen_before ~first:"onPause" ~second:"onResume"));
+    Alcotest.test_case "ui enabled only when visible" `Quick (fun () ->
+        Alcotest.(check bool) "resumed" true (Lifecycle.ui_enabled Lifecycle.S_resumed);
+        Alcotest.(check bool) "started" true (Lifecycle.ui_enabled Lifecycle.S_started);
+        Alcotest.(check bool) "stopped" false (Lifecycle.ui_enabled Lifecycle.S_stopped);
+        Alcotest.(check bool) "init" false (Lifecycle.ui_enabled Lifecycle.S_init));
+  ]
+
+(* every sequence the automaton generates is replayable step by step, and
+   onCreate always comes first *)
+let sequences_valid =
+  QCheck2.Test.make ~name:"lifecycle sequences are consistent" ~count:50
+    (QCheck2.Gen.int_range 1 7)
+    (fun n ->
+      let seqs = Lifecycle.sequences ~max_len:n in
+      List.for_all
+        (fun seq ->
+          let rec replay st = function
+            | [] -> true
+            | cb :: rest -> (
+                match Lifecycle.step st cb with Some st' -> replay st' rest | None -> false)
+          in
+          replay Lifecycle.initial seq
+          && (match seq with [] -> true | first :: _ -> String.equal first "onCreate"))
+        seqs)
+
+let component_tests =
+  [
+    Alcotest.test_case "components discovered with their callbacks" `Quick (fun () ->
+        let s =
+          sema
+            "class A extends Activity { method void onCreate() { } method void helper() { } } \
+             class S extends Service { method void onDestroy() { } } class R extends \
+             BroadcastReceiver { method void onReceive(Intent i) { } } class Plain { }"
+        in
+        let comps = Component.discover s in
+        Alcotest.(check int) "three components" 3 (List.length comps);
+        let a = List.find (fun c -> c.Component.cls = "A") comps in
+        Alcotest.(check bool) "activity kind" true (a.Component.kind = Component.Activity);
+        Alcotest.(check (list string)) "callbacks" [ "onCreate" ]
+          (List.map fst a.Component.entry_callbacks));
+    Alcotest.test_case "anonymous classes are not components" `Quick (fun () ->
+        let s =
+          sema
+            "class A extends Activity { method void onCreate() { \
+             this.registerReceiver(new BroadcastReceiver() { method void onReceive(Intent i) { \
+             } }); } }"
+        in
+        let comps = Component.discover s in
+        Alcotest.(check int) "only A" 1 (List.length comps));
+  ]
+
+let suite =
+  [
+    ("android-callback", callback_tests);
+    ("android-api", api_tests);
+    ("android-lifecycle", lifecycle_tests);
+    ("android-lifecycle-properties", [ QCheck_alcotest.to_alcotest sequences_valid ]);
+    ("android-component", component_tests);
+  ]

@@ -1,0 +1,274 @@
+(* nAdroid core tests: threadification (§4), detection (§5), every filter
+   (§6), classification (§7), and the pipeline plumbing. *)
+
+open Nadroid_core
+module Spec = Nadroid_corpus.Spec
+module Gen = Nadroid_corpus.Gen
+
+let analyze src = Pipeline.analyze ~file:"t" src
+
+let kinds t =
+  List.map
+    (fun th -> Fmt.str "%a" Threadify.pp_kind th.Threadify.th_kind)
+    (Threadify.threads t.Pipeline.threads)
+
+let threadify_tests =
+  [
+    Alcotest.test_case "dummy main is thread 0" `Quick (fun () ->
+        let t = analyze "class A extends Activity { method void onCreate() { } }" in
+        match Threadify.threads t.Pipeline.threads with
+        | main :: _ ->
+            Alcotest.(check bool) "kind" true (main.Threadify.th_kind = Threadify.Dummy_main);
+            Alcotest.(check bool) "no parent" true (main.Threadify.th_parent = None)
+        | [] -> Alcotest.fail "no threads");
+    Alcotest.test_case "entry callbacks hang off the dummy main" `Quick (fun () ->
+        let t =
+          analyze
+            "class A extends Activity { method void onCreate() { } method void onResume() { } \
+             }"
+        in
+        let ths = Threadify.threads t.Pipeline.threads in
+        Alcotest.(check int) "main + 2 ECs" 3 (List.length ths);
+        List.iter
+          (fun th ->
+            match th.Threadify.th_kind with
+            | Threadify.Entry_cb _ ->
+                Alcotest.(check (option int)) "parent is main" (Some 0) th.Threadify.th_parent
+            | _ -> ())
+          ths);
+    Alcotest.test_case "posted callbacks are children of their poster" `Quick (fun () ->
+        let t =
+          analyze
+            "class A extends Activity { field Handler h; method void onCreate() { h = new \
+             Handler(); h.post(new Runnable() { method void run() { } }); } }"
+        in
+        let ths = Threadify.threads t.Pipeline.threads in
+        let poster =
+          List.find (fun th -> String.equal th.Threadify.th_method "onCreate") ths
+        in
+        let postee = List.find (fun th -> String.equal th.Threadify.th_method "run") ths in
+        Alcotest.(check bool) "PC kind" true
+          (match postee.Threadify.th_kind with Threadify.Posted_cb _ -> true | _ -> false);
+        Alcotest.(check (option int)) "lineage" (Some poster.Threadify.th_id)
+          postee.Threadify.th_parent);
+    Alcotest.test_case "imperative click listeners are ECs under the dummy main" `Quick
+      (fun () ->
+        let t =
+          analyze
+            "class A extends Activity { method void onStart() { \
+             this.findViewById(1).setOnClickListener(new OnClickListener() { method void \
+             onClick(View v) { } }); } }"
+        in
+        let click =
+          List.find
+            (fun th -> String.equal th.Threadify.th_method "onClick")
+            (Threadify.threads t.Pipeline.threads)
+        in
+        Alcotest.(check bool) "EC" true
+          (match click.Threadify.th_kind with Threadify.Entry_cb _ -> true | _ -> false);
+        Alcotest.(check (option int)) "parent main" (Some 0) click.Threadify.th_parent);
+    Alcotest.test_case "asynctask produces four modeled threads" `Quick (fun () ->
+        let t =
+          analyze
+            "class A extends Activity { method void onCreate() { new AsyncTask() { method \
+             void onPreExecute() { } method void doInBackground() { } method void \
+             onProgressUpdate(int p) { } method void onPostExecute() { } }.execute(); } }"
+        in
+        let k = kinds t in
+        Alcotest.(check bool) "has async-bg" true (List.mem "async-bg" k);
+        Alcotest.(check int) "three PCs"
+          3
+          (List.length (List.filter (fun s -> String.length s > 2 && String.sub s 0 2 = "PC") k)));
+    Alcotest.test_case "self-reposting runnable terminates" `Quick (fun () ->
+        let t =
+          analyze
+            "class A extends Activity { field Handler h; method void onCreate() { h = new \
+             Handler(); h.post(new Runnable() { method void run() { h.post(this); } }); } }"
+        in
+        Alcotest.(check bool) "bounded forest" true (Threadify.n_threads t.Pipeline.threads < 10));
+    Alcotest.test_case "lineage string walks to main" `Quick (fun () ->
+        let t =
+          analyze
+            "class A extends Activity { field Handler h; method void onCreate() { h = new \
+             Handler(); h.post(new Runnable() { method void run() { } }); } }"
+        in
+        let postee =
+          List.find
+            (fun th -> String.equal th.Threadify.th_method "run")
+            (Threadify.threads t.Pipeline.threads)
+        in
+        Alcotest.(check string) "lineage" "main -> A.onCreate -> A$1.run"
+          (Threadify.lineage t.Pipeline.threads postee));
+  ]
+
+(* Pattern-level expectations: each corpus pattern in isolation must
+   behave exactly as its ground truth says. This doubles as the filter
+   test suite: one test per filter with the idiom it was designed for. *)
+let pattern_case p =
+  Alcotest.test_case (Spec.pattern_to_string p) `Quick (fun () ->
+      let spec =
+        {
+          Spec.app_name = "t";
+          activities = [ { Spec.act_name = "MainActivity"; patterns = [ p ] } ];
+          services = 0;
+          padding = 0;
+        }
+      in
+      let src, _ = Gen.generate spec in
+      let t = analyze src in
+      let np = List.length t.Pipeline.potential in
+      let ns = List.length t.Pipeline.after_sound in
+      let nu = List.length t.Pipeline.after_unsound in
+      match Spec.expectation p with
+      | Spec.E_true_bug c ->
+          Alcotest.(check bool) "survives all filters" true (nu >= 1);
+          let cat = Classify.of_warning t.Pipeline.threads (List.hd t.Pipeline.after_unsound) in
+          Alcotest.(check string) "category" (Classify.to_string c) (Classify.to_string cat)
+      | Spec.E_filtered f ->
+          Alcotest.(check bool) "was detected" true (np >= 1);
+          if List.mem f Filters.sound then
+            Alcotest.(check bool) "pruned by sound stage" true (ns < np)
+          else begin
+            Alcotest.(check bool) "survives sound stage" true (ns >= 1);
+            Alcotest.(check bool) "pruned by unsound stage" true (nu < ns)
+          end;
+          (* and the designated filter alone must prune it *)
+          Alcotest.(check bool)
+            (Filters.name_to_string f ^ " alone prunes")
+            true
+            (Filters.pruned_count t.Pipeline.ctx [ f ]
+               (if List.mem f Filters.sound then t.Pipeline.potential else t.Pipeline.after_sound)
+            >= 1)
+      | Spec.E_false_positive _ -> Alcotest.(check bool) "survives (is a FP)" true (nu >= 1)
+      | Spec.E_none -> Alcotest.(check int) "no potential warnings" 0 np)
+
+let filter_tests = List.map pattern_case Spec.all_patterns
+
+let detection_tests =
+  [
+    Alcotest.test_case "race needs two distinct modeled threads" `Quick (fun () ->
+        (* use and free inside the same callback: no pair *)
+        let t =
+          analyze
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void onCreate() { d = new Data(); } method void onPause() { d.op(); d = \
+             null; } }"
+        in
+        (* the only cross-thread pair is (use in onPause, free in onPause)
+           which is same-thread, plus onCreate has no use/free *)
+        Alcotest.(check int) "no warning" 0 (List.length t.Pipeline.potential));
+    Alcotest.test_case "alias requires overlapping base objects" `Quick (fun () ->
+        (* two disjoint Data objects in two activities: no race *)
+        let t =
+          analyze
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void onCreate() { d = new Data(); } method void onPause() { d = null; } } \
+             class B extends Activity { field Data d; method void onCreate() { d = new \
+             Data(); } method void onPause() { d.op(); } }"
+        in
+        Alcotest.(check int) "no cross-activity warning" 0 (List.length t.Pipeline.potential));
+    Alcotest.test_case "warnings deduplicate to site pairs" `Quick (fun () ->
+        (* one use races with one free reachable via two thread pairs:
+           still a single warning *)
+        let t =
+          analyze
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void onCreate() { d = new Data(); } method void onStart() { \
+             this.findViewById(1).setOnClickListener(new OnClickListener() { method void \
+             onClick(View v) { d.op(); } }); this.findViewById(2).setOnClickListener(new \
+             OnClickListener() { method void onClick(View v) { d = null; } }); } }"
+        in
+        Alcotest.(check int) "one warning" 1 (List.length t.Pipeline.potential);
+        match t.Pipeline.potential with
+        | [ w ] -> Alcotest.(check int) "one pair" 1 (List.length w.Detect.w_pairs)
+        | _ -> Alcotest.fail "expected one warning");
+    Alcotest.test_case "static fields race by key" `Quick (fun () ->
+        let t =
+          analyze
+            "class Data { method void op() { } } class A extends Activity { static field Data \
+             cache; method void onCreate() { cache = new Data(); } method void onPause() { \
+             cache.op(); } method void onStop() { cache = null; } }"
+        in
+        Alcotest.(check bool) "warning exists" true (List.length t.Pipeline.potential >= 1));
+  ]
+
+let classify_tests =
+  [
+    Alcotest.test_case "category ranking prefers the most asynchronous" `Quick (fun () ->
+        Alcotest.(check bool) "C-NT > PC-PC" true
+          (Classify.rank Classify.C_NT > Classify.rank Classify.PC_PC);
+        Alcotest.(check bool) "PC-PC > EC-EC" true
+          (Classify.rank Classify.PC_PC > Classify.rank Classify.EC_EC));
+    Alcotest.test_case "histogram covers all categories" `Quick (fun () ->
+        let t = analyze "class A extends Activity { method void onCreate() { } }" in
+        let h = Classify.histogram t.Pipeline.threads [] in
+        Alcotest.(check int) "five buckets" 5 (List.length h);
+        List.iter (fun (_, n) -> Alcotest.(check int) "empty" 0 n) h);
+  ]
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "phases are consistent" `Quick (fun () ->
+        let src, _ =
+          Gen.generate
+            {
+              Spec.app_name = "t";
+              activities =
+                [
+                  {
+                    Spec.act_name = "MainActivity";
+                    patterns = [ Spec.P_ec_pc_uaf; Spec.P_guarded; Spec.P_ur ];
+                  };
+                ];
+              services = 0;
+              padding = 0;
+            }
+        in
+        let t = analyze src in
+        let np = List.length t.Pipeline.potential in
+        let ns = List.length t.Pipeline.after_sound in
+        let nu = List.length t.Pipeline.after_unsound in
+        Alcotest.(check bool) "monotone" true (np >= ns && ns >= nu);
+        Alcotest.(check int) "one survivor" 1 nu);
+    Alcotest.test_case "sound-only config skips unsound filters" `Quick (fun () ->
+        let src, _ =
+          Gen.generate
+            {
+              Spec.app_name = "t";
+              activities =
+                [ { Spec.act_name = "MainActivity"; patterns = [ Spec.P_ur ] } ];
+              services = 0;
+              padding = 0;
+            }
+        in
+        let config = { Pipeline.default_config with Pipeline.unsound = [] } in
+        let t = Pipeline.analyze ~config ~file:"t" src in
+        Alcotest.(check int) "UR not applied" (List.length t.Pipeline.after_sound)
+          (List.length t.Pipeline.after_unsound));
+    Alcotest.test_case "report renders every surviving warning" `Quick (fun () ->
+        let src, _ =
+          Gen.generate
+            {
+              Spec.app_name = "t";
+              activities =
+                [ { Spec.act_name = "MainActivity"; patterns = [ Spec.P_ec_pc_uaf ] } ];
+              services = 0;
+              padding = 0;
+            }
+        in
+        let t = analyze src in
+        let report = Report.to_string t.Pipeline.threads t.Pipeline.after_unsound in
+        Alcotest.(check bool) "mentions the field" true
+          (Astring.String.is_infix ~affix:"MainActivity.f0" report);
+        Alcotest.(check bool) "mentions lineage" true
+          (Astring.String.is_infix ~affix:"main ->" report));
+  ]
+
+let suite =
+  [
+    ("threadify", threadify_tests);
+    ("filters-by-pattern", filter_tests);
+    ("detect", detection_tests);
+    ("classify", classify_tests);
+    ("pipeline", pipeline_tests);
+  ]

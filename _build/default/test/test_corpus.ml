@@ -1,0 +1,163 @@
+(* Corpus tests: all 27 apps (and the 8 injected variants) must parse,
+   typecheck and analyse; the generator is deterministic; seeded ground
+   truth stays consistent with the analysis results; and the headline
+   aggregate shapes from the paper's evaluation hold. *)
+
+open Nadroid_corpus
+module Pipeline = Nadroid_core.Pipeline
+module Detect = Nadroid_core.Detect
+
+let analyze (app : Corpus.app) = Pipeline.analyze ~file:app.Corpus.name app.Corpus.source
+
+let app_cases =
+  List.map
+    (fun (app : Corpus.app) ->
+      Alcotest.test_case (app.Corpus.name ^ " analyses cleanly") `Quick (fun () ->
+          match Nadroid_lang.Diag.protect (fun () -> analyze app) with
+          | Ok t ->
+              Alcotest.(check bool) "phases monotone" true
+                (List.length t.Pipeline.potential >= List.length t.Pipeline.after_sound
+                && List.length t.Pipeline.after_sound >= List.length t.Pipeline.after_unsound)
+          | Error d -> Alcotest.failf "diagnostic: %s" (Nadroid_lang.Diag.to_string d)))
+    (Lazy.force Corpus.all)
+
+let injected_cases =
+  List.map
+    (fun (inj : Corpus.injected_app) ->
+      Alcotest.test_case (inj.Corpus.inj_base.Corpus.name ^ "+inj analyses cleanly") `Quick
+        (fun () ->
+          match
+            Nadroid_lang.Diag.protect (fun () ->
+                Pipeline.analyze ~file:"inj" inj.Corpus.inj_source)
+          with
+          | Ok _ -> ()
+          | Error d -> Alcotest.failf "diagnostic: %s" (Nadroid_lang.Diag.to_string d)))
+    (Lazy.force Corpus.injected)
+
+(* Check every seeded expectation across the whole corpus: a seeded true
+   bug must survive all filters, a seeded filtered idiom must not, a
+   seeded FP must survive, an inert pattern must be invisible. *)
+let field_warned warnings (sd : Spec.seeded) =
+  List.exists
+    (fun (w : Detect.warning) ->
+      String.equal w.Detect.w_field.Nadroid_lang.Sema.fr_name sd.Spec.sd_field
+      && String.equal w.Detect.w_field.Nadroid_lang.Sema.fr_class sd.Spec.sd_activity)
+    warnings
+
+let ground_truth_cases =
+  List.map
+    (fun (app : Corpus.app) ->
+      Alcotest.test_case (app.Corpus.name ^ " honours its seeded ground truth") `Quick
+        (fun () ->
+          let t = analyze app in
+          List.iter
+            (fun (sd : Spec.seeded) ->
+              let tag = Spec.pattern_to_string sd.Spec.sd_pattern ^ "/" ^ sd.Spec.sd_field in
+              match sd.Spec.sd_expect with
+              | Spec.E_true_bug _ | Spec.E_false_positive _ ->
+                  Alcotest.(check bool) (tag ^ " survives") true
+                    (field_warned t.Pipeline.after_unsound sd)
+              | Spec.E_filtered _ ->
+                  Alcotest.(check bool) (tag ^ " detected") true
+                    (field_warned t.Pipeline.potential sd);
+                  Alcotest.(check bool) (tag ^ " pruned") false
+                    (field_warned t.Pipeline.after_unsound sd)
+              | Spec.E_none ->
+                  Alcotest.(check bool) (tag ^ " invisible") false
+                    (field_warned t.Pipeline.potential sd))
+            app.Corpus.seeded))
+    (Lazy.force Corpus.all)
+
+let aggregate_tests =
+  [
+    Alcotest.test_case "27 apps: 7 train + 20 test" `Quick (fun () ->
+        Alcotest.(check int) "train" 7 (List.length (Lazy.force Corpus.train));
+        Alcotest.(check int) "test" 20 (List.length (Lazy.force Corpus.test)));
+    Alcotest.test_case "generator is deterministic" `Quick (fun () ->
+        let spec = List.hd Apps_test.all in
+        let s1, _ = Gen.generate spec and s2, _ = Gen.generate spec in
+        Alcotest.(check string) "same source" s1 s2);
+    Alcotest.test_case "seeded true bugs total the paper's 88" `Quick (fun () ->
+        let seeded =
+          List.fold_left
+            (fun acc (app : Corpus.app) ->
+              acc
+              + List.length
+                  (List.filter
+                     (fun (sd : Spec.seeded) ->
+                       match sd.Spec.sd_expect with Spec.E_true_bug _ -> true | _ -> false)
+                     app.Corpus.seeded))
+            0 (Lazy.force Corpus.all)
+        in
+        (* 84 generated + 4 hand-written (ConnectBot x2, FireFox, MyTracks) *)
+        Alcotest.(check int) "seeded + hand = 88" 88 (seeded + 4));
+    Alcotest.test_case "sound filters prune most warnings (paper: 88%)" `Quick (fun () ->
+        let p, s =
+          List.fold_left
+            (fun (p, s) (app : Corpus.app) ->
+              let t = analyze app in
+              (p + List.length t.Pipeline.potential, s + List.length t.Pipeline.after_sound))
+            (0, 0) (Lazy.force Corpus.all)
+        in
+        let rate = float_of_int (p - s) /. float_of_int p in
+        Alcotest.(check bool) "within [0.8, 0.95]" true (rate > 0.8 && rate < 0.95));
+    Alcotest.test_case "table 2 injection mix matches the paper" `Quick (fun () ->
+        let total =
+          List.fold_left
+            (fun acc (inj : Corpus.injected_app) -> acc + List.length inj.Corpus.inj_seeded)
+            0 (Lazy.force Corpus.injected)
+        in
+        Alcotest.(check int) "28 injected UAFs" 28 total;
+        Alcotest.(check int) "8 apps" 8 (List.length (Lazy.force Corpus.injected)));
+    Alcotest.test_case "injected missed/pruned ground truth" `Quick (fun () ->
+        (* exactly the inj-unmodeled seeds are undetectable, exactly the
+           chb-error-path seeds are wrongly pruned *)
+        List.iter
+          (fun (inj : Corpus.injected_app) ->
+            let t = Pipeline.analyze ~file:"inj" inj.Corpus.inj_source in
+            List.iter
+              (fun (sd : Spec.seeded) ->
+                match sd.Spec.sd_pattern with
+                | Spec.P_inj_unmodeled ->
+                    Alcotest.(check bool) "missed" false (field_warned t.Pipeline.potential sd)
+                | Spec.P_chb_error_path ->
+                    Alcotest.(check bool) "detected" true (field_warned t.Pipeline.potential sd);
+                    Alcotest.(check bool) "wrongly pruned" false
+                      (field_warned t.Pipeline.after_unsound sd)
+                | _ ->
+                    Alcotest.(check bool) "injected bug survives" true
+                      (field_warned t.Pipeline.after_unsound sd))
+              inj.Corpus.inj_seeded)
+          (Lazy.force Corpus.injected));
+    Alcotest.test_case "hand-written Fig 1 bugs survive in ConnectBot/FireFox" `Quick (fun () ->
+        let cb = analyze (Option.get (Corpus.find "ConnectBot")) in
+        let fields =
+          List.map
+            (fun (w : Detect.warning) -> w.Detect.w_field.Nadroid_lang.Sema.fr_name)
+            cb.Pipeline.after_unsound
+        in
+        Alcotest.(check bool) "bound (Fig 1a)" true (List.mem "bound" fields);
+        Alcotest.(check bool) "hostBridge (Fig 1b)" true (List.mem "hostBridge" fields);
+        let ff = analyze (Option.get (Corpus.find "FireFox")) in
+        let fields =
+          List.map
+            (fun (w : Detect.warning) -> w.Detect.w_field.Nadroid_lang.Sema.fr_name)
+            ff.Pipeline.after_unsound
+        in
+        Alcotest.(check bool) "jClient (Fig 1c)" true (List.mem "jClient" fields));
+    Alcotest.test_case "browser's fragment bug is invisible to nAdroid" `Quick (fun () ->
+        let t = analyze (Option.get (Corpus.find "Browser")) in
+        Alcotest.(check bool) "mCtrlWV not reported" false
+          (List.exists
+             (fun (w : Detect.warning) ->
+               String.equal w.Detect.w_field.Nadroid_lang.Sema.fr_name "mCtrlWV")
+             t.Pipeline.potential));
+  ]
+
+let suite =
+  [
+    ("corpus-apps", app_cases);
+    ("corpus-injected", injected_cases);
+    ("corpus-ground-truth", ground_truth_cases);
+    ("corpus-aggregates", aggregate_tests);
+  ]

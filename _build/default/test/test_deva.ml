@@ -1,0 +1,90 @@
+(* DEvA baseline tests: it must exhibit exactly the limitations the paper
+   describes (§2.3, §8.7) — intra-class scope, no happens-before, unsound
+   IG — while still finding intra-class event anomalies. *)
+
+open Nadroid_ir
+module Deva = Nadroid_deva.Deva
+
+let deva src = Deva.run (Prog.of_source ~file:"t" src)
+
+let has_warning ws ~field ~use ~free =
+  List.exists
+    (fun (w : Deva.warning) ->
+      String.equal w.Deva.dw_field field
+      && String.equal w.Deva.dw_use_cb use
+      && String.equal w.Deva.dw_free_cb free)
+    ws
+
+let tests =
+  [
+    Alcotest.test_case "finds an intra-class event anomaly" `Quick (fun () ->
+        let ws =
+          deva
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void onResume() { d.op(); } method void onDestroy() { d = null; } }"
+        in
+        Alcotest.(check bool) "found" true
+          (has_warning ws ~field:"A.d" ~use:"A.onResume" ~free:"A.onDestroy"));
+    Alcotest.test_case "no happens-before: reports MHB-orderable pairs" `Quick (fun () ->
+        (* use in onCreate, free in onDestroy: nAdroid's MHB prunes this;
+           DEvA keeps it *)
+        let ws =
+          deva
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void onCreate() { d = new Data(); } method void onActivityResult(int c) { \
+             d.op(); } method void onDestroy() { d = null; } }"
+        in
+        Alcotest.(check bool) "kept" true
+          (has_warning ws ~field:"A.d" ~use:"A.onActivityResult" ~free:"A.onDestroy"));
+    Alcotest.test_case "anonymous inner classes are in scope" `Quick (fun () ->
+        let ws =
+          deva
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void onCreate() { this.runOnUiThread(new Runnable() { method void run() { \
+             d.op(); } }); } method void onDestroy() { d = null; } }"
+        in
+        Alcotest.(check bool) "found through inner class" true
+          (has_warning ws ~field:"A.d" ~use:"A$1.run" ~free:"A.onDestroy"));
+    Alcotest.test_case "misses inter-class accesses" `Quick (fun () ->
+        (* a separate top-level worker nulls another class's field: the
+           paper's main DEvA false-negative source *)
+        let ws =
+          deva
+            "class Data { method void op() { } } class Worker extends Runnable { field A \
+             owner; method void init(A o) { owner = o; } method void run() { owner.d = null; \
+             } } class A extends Activity { field Data d; field Executor ex; method void \
+             onCreate() { ex = new Executor(); d = new Data(); ex.execute(new Worker(this)); \
+             } method void onPause() { d.op(); } }"
+        in
+        Alcotest.(check bool) "missed" false
+          (List.exists (fun (w : Deva.warning) -> String.equal w.Deva.dw_field "A.d") ws));
+    Alcotest.test_case "unsound IG prunes guarded uses even across threads" `Quick (fun () ->
+        let ws =
+          deva
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void onPause() { if (d != null) { d.op(); } } method void onStop() { d = \
+             null; } }"
+        in
+        Alcotest.(check bool) "pruned" false
+          (List.exists (fun (w : Deva.warning) -> String.equal w.Deva.dw_field "A.d") ws));
+    Alcotest.test_case "fragment-style callbacks recognised by name" `Quick (fun () ->
+        let ws =
+          deva
+            "class Ctrl { method void go() { } } class Frag { field Ctrl c; method void \
+             onResume() { c.go(); } method void onDestroy() { c = null; } }"
+        in
+        Alcotest.(check bool) "found in plain class" true
+          (has_warning ws ~field:"Frag.c" ~use:"Frag.onResume" ~free:"Frag.onDestroy"));
+    Alcotest.test_case "no self-pairs" `Quick (fun () ->
+        let ws =
+          deva
+            "class Data { method void op() { } } class A extends Activity { field Data d; \
+             method void onPause() { d.op(); d = null; } }"
+        in
+        Alcotest.(check bool) "no same-callback pair" false
+          (List.exists
+             (fun (w : Deva.warning) -> String.equal w.Deva.dw_use_cb w.Deva.dw_free_cb)
+             ws));
+  ]
+
+let suite = [ ("deva", tests) ]

@@ -1,0 +1,353 @@
+(* Dynamic substrate tests: the IR interpreter, the simulated Android
+   runtime (looper atomicity, thread preemption, monitors, registration
+   and cancellation semantics), and the schedule explorer. *)
+
+open Nadroid_ir
+open Nadroid_dynamic
+module Explorer = Explorer
+module Spec = Nadroid_corpus.Spec
+module Gen = Nadroid_corpus.Gen
+
+let prog_of src = Prog.of_source ~file:"t" src
+
+(* Run a fixed schedule by action predicate: at each step, perform the
+   first enabled action matching the next label prefix. *)
+let run_script prog script =
+  let w = World.create prog in
+  List.iter
+    (fun prefix ->
+      let actions = World.enabled_actions w in
+      match
+        List.find_opt
+          (fun a ->
+            let s = Fmt.str "%a" World.pp_action a in
+            String.length s >= String.length prefix
+            && String.equal (String.sub s 0 (String.length prefix)) prefix)
+          actions
+      with
+      | Some a -> World.perform w a
+      | None -> Alcotest.failf "no enabled action matching %s" prefix)
+    script;
+  w
+
+let logs_of w = World.logs w
+
+let interp_tests =
+  [
+    Alcotest.test_case "arithmetic and strings" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity { method void onCreate() {
+                var int x = 2 + 3 * 4;
+                var string s = "v=" + i2s(x - 7 / 2);
+                log(s);
+              } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate" ] in
+        Alcotest.(check (list string)) "log" [ "v=11" ] (logs_of w));
+    Alcotest.test_case "short-circuit protects null dereference" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class Data { field bool ready; }
+              class A extends Activity { field Data d;
+                method void onCreate() {
+                  if (d != null && d.ready) { log("yes"); } else { log("no"); }
+                } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate" ] in
+        Alcotest.(check (list string)) "no NPE" [ "no" ] (logs_of w);
+        Alcotest.(check int) "clean" 0 (List.length (World.npes w)));
+    Alcotest.test_case "while loop" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity { method void onCreate() {
+                var int i = 0; var int acc = 0;
+                while (i < 5) { acc = acc + i; i = i + 1; }
+                log(i2s(acc));
+              } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate" ] in
+        Alcotest.(check (list string)) "sum" [ "10" ] (logs_of w));
+    Alcotest.test_case "virtual dispatch and init" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class P { field int v; method void init(int x) { v = x; } method int get() { return v; } }
+              class Q extends P { method int get() { return v + 100; } }
+              class A extends Activity { method void onCreate() {
+                var P p = new Q(7);
+                log(i2s(p.get()));
+              } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate" ] in
+        Alcotest.(check (list string)) "dispatched" [ "107" ] (logs_of w));
+    Alcotest.test_case "field defaults per type" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class B { field int n; field bool b; field string s; field B next; }
+              class A extends Activity { method void onCreate() {
+                var B x = new B();
+                if (x.next == null && !x.b && x.n == 0 && x.s == "") { log("defaults"); }
+              } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate" ] in
+        Alcotest.(check (list string)) "defaults" [ "defaults" ] (logs_of w));
+    Alcotest.test_case "NPE carries the faulting site" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class Data { method void op() { } }
+              class A extends Activity { field Data d;
+                method void onCreate() { d.op(); } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate" ] in
+        match World.npes w with
+        | [ npe ] ->
+            Alcotest.(check string) "method" "A.onCreate"
+              (Fmt.str "%a" Instr.pp_mref npe.Interp.npe_mref)
+        | l -> Alcotest.failf "expected one NPE, got %d" (List.length l));
+    Alcotest.test_case "outer capture reads the activity state" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity { field int clicks;
+                method void onCreate() {
+                  this.findViewById(1).setOnClickListener(new OnClickListener() {
+                    method void onClick(View v) { clicks = clicks + 1; log(i2s(clicks)); }
+                  });
+                }
+                method void onStart() { } }|}
+        in
+        let w =
+          run_script prog
+            [ "lifecycle:A.onCreate"; "lifecycle:A.onStart"; "click:0"; "click:0" ]
+        in
+        Alcotest.(check (list string)) "counts" [ "1"; "2" ] (logs_of w));
+  ]
+
+let world_tests =
+  [
+    Alcotest.test_case "looper delivers posts in FIFO order" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity { field Handler h;
+                method void onCreate() {
+                  h = new Handler();
+                  h.post(new Runnable() { method void run() { log("first"); } });
+                  h.post(new Runnable() { method void run() { log("second"); } });
+                } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate"; "looper"; "looper" ] in
+        Alcotest.(check (list string)) "fifo" [ "first"; "second" ] (logs_of w));
+    Alcotest.test_case "removeCallbacksAndMessages drops queued posts" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity { field Handler h;
+                method void onCreate() {
+                  h = new Handler();
+                  h.post(new Runnable() { method void run() { log("dropped"); } });
+                  h.removeCallbacksAndMessages();
+                } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate" ] in
+        Alcotest.(check int) "queue empty" 0 (List.length w.World.queue);
+        Alcotest.(check (list string)) "nothing ran" [] (logs_of w));
+    Alcotest.test_case "sendEmptyMessage carries what" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity { field Handler h;
+                method void onCreate() {
+                  h = new Handler() { method void handleMessage(Message m) { log(i2s(m.what)); } };
+                  h.sendEmptyMessage(42);
+                } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate"; "looper" ] in
+        Alcotest.(check (list string)) "what" [ "42" ] (logs_of w));
+    Alcotest.test_case "service connect then disconnect" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity {
+                method void onCreate() {
+                  this.bindService(new ServiceConnection() {
+                    method void onServiceConnected(Binder b) { log("up"); }
+                    method void onServiceDisconnected() { log("down"); }
+                  });
+                } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate"; "connect:0"; "disconnect:0" ] in
+        Alcotest.(check (list string)) "updown" [ "up"; "down" ] (logs_of w);
+        (* disconnect only enabled after connect *)
+        let w2 = run_script prog [ "lifecycle:A.onCreate" ] in
+        let acts = List.map (Fmt.str "%a" World.pp_action) (World.enabled_actions w2) in
+        Alcotest.(check bool) "connect enabled" true (List.mem "connect:0" acts);
+        Alcotest.(check bool) "disconnect not enabled" false (List.mem "disconnect:0" acts));
+    Alcotest.test_case "finish gates lifecycle and clicks" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity {
+                method void onCreate() {
+                  this.findViewById(1).setOnClickListener(new OnClickListener() {
+                    method void onClick(View v) { log("click"); }
+                  });
+                }
+                method void onBackPressed() { finish(); } }|}
+        in
+        let w =
+          run_script prog
+            [ "lifecycle:A.onCreate"; "lifecycle:A.onStart"; "ui:A.onBackPressed" ]
+        in
+        let acts = List.map (Fmt.str "%a" World.pp_action) (World.enabled_actions w) in
+        Alcotest.(check bool) "no clicks after finish" false (List.mem "click:0" acts);
+        Alcotest.(check bool) "no restart forward" false
+          (List.exists (fun a -> String.equal a "lifecycle:A.onResume") acts));
+    Alcotest.test_case "setEnabled(false) gates the listener" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity { field View btn;
+                method void onCreate() {
+                  btn = this.findViewById(1);
+                  btn.setOnClickListener(new OnClickListener() {
+                    method void onClick(View v) { log("never"); }
+                  });
+                  btn.setEnabled(false);
+                } }|}
+        in
+        let w = run_script prog [ "lifecycle:A.onCreate"; "lifecycle:A.onStart" ] in
+        let acts = List.map (Fmt.str "%a" World.pp_action) (World.enabled_actions w) in
+        Alcotest.(check bool) "click disabled" false (List.mem "click:0" acts));
+    Alcotest.test_case "looper callbacks are atomic without live threads" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class A extends Activity { field int x;
+                method void onCreate() { x = 1; x = x + 1; x = x * 10; log(i2s(x)); } }|}
+        in
+        (* the whole callback runs in one action: no looper-step needed *)
+        let w = run_script prog [ "lifecycle:A.onCreate" ] in
+        Alcotest.(check (list string)) "completed atomically" [ "20" ] (logs_of w));
+    Alcotest.test_case "native thread can interleave into a looper callback" `Quick (fun () ->
+        (* Fig 1(c): thread frees between the looper's check and use *)
+        let prog =
+          prog_of
+            {|class Data { method void op() { } }
+              class A extends Activity { field Data d; field Executor ex;
+                method void onCreate() { ex = new Executor(); d = new Data(); }
+                method void onResume() {
+                  ex.execute(new Runnable() { method void run() { d = null; } });
+                }
+                method void onPause() { if (d != null) { d.op(); } } }|}
+        in
+        (* start onPause, let it pass the check, drain the freeing thread,
+           then resume the callback: the re-read of d crashes *)
+        let w =
+          run_script prog
+            [
+              "lifecycle:A.onCreate";
+              "lifecycle:A.onStart";
+              "lifecycle:A.onResume";
+              "lifecycle:A.onPause" (* starts; suspends before the guard read *);
+              "looper-step" (* guard getfield: d is non-null, branch taken *);
+            ]
+        in
+        (* run the freeing thread to completion *)
+        let rec drain_thread () =
+          let acts = List.map (Fmt.str "%a" World.pp_action) (World.enabled_actions w) in
+          if List.mem "thread:0" acts then begin
+            World.perform w (World.A_thread_step 0);
+            drain_thread ()
+          end
+        in
+        drain_thread ();
+        (* resume the looper callback: the use re-reads d = null *)
+        let rec drain_looper () =
+          let acts = List.map (Fmt.str "%a" World.pp_action) (World.enabled_actions w) in
+          if List.mem "looper-step" acts then begin
+            World.perform w World.A_looper_step;
+            drain_looper ()
+          end
+        in
+        drain_looper ();
+        Alcotest.(check bool) "NPE observed" true (List.length (World.npes w) >= 1));
+    Alcotest.test_case "monitors block the other fiber" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class Data { method void op() { } }
+              class A extends Activity { field Data d; field Data lock;
+                method void onCreate() { lock = new Data(); d = new Data(); }
+                method void onResume() {
+                  new Thread(new Runnable() {
+                    method void run() { synchronized (lock) { d = null; } }
+                  }).start();
+                }
+                method void onPause() {
+                  synchronized (lock) { if (d != null) { d.op(); } }
+                } }|}
+        in
+        (* brute-force all interleavings up to depth 9: the lock makes the
+           guarded use safe, so no schedule may produce an NPE *)
+        let npes = Explorer.exhaustive (prog_of "class Unused { }") ~depth:0 in
+        ignore npes;
+        let found = ref false in
+        for seed = 0 to 60 do
+          let o = Explorer.random_run prog ~seed ~max_steps:40 in
+          if o.Explorer.o_npes <> [] then found := true
+        done;
+        Alcotest.(check bool) "no NPE under lock" false !found);
+  ]
+
+let explorer_tests =
+  [
+    Alcotest.test_case "same seed, same trace" `Quick (fun () ->
+        let app =
+          Option.get (Nadroid_corpus.Corpus.find "ConnectBot")
+        in
+        let prog = prog_of app.Nadroid_corpus.Corpus.source in
+        let o1 = Explorer.random_run prog ~seed:5 ~max_steps:30 in
+        let o2 = Explorer.random_run prog ~seed:5 ~max_steps:30 in
+        Alcotest.(check (list string)) "deterministic"
+          (List.map (Fmt.str "%a" World.pp_action) o1.Explorer.o_trace)
+          (List.map (Fmt.str "%a" World.pp_action) o2.Explorer.o_trace));
+    Alcotest.test_case "validate confirms a seeded true bug" `Quick (fun () ->
+        let src, _ =
+          Gen.generate
+            {
+              Spec.app_name = "t";
+              activities =
+                [ { Spec.act_name = "MainActivity"; patterns = [ Spec.P_ec_pc_uaf ] } ];
+              services = 0;
+              padding = 0;
+            }
+        in
+        let t = Nadroid_core.Pipeline.analyze ~file:"t" src in
+        match t.Nadroid_core.Pipeline.after_unsound with
+        | [ w ] ->
+            let v = Explorer.validate t.Nadroid_core.Pipeline.prog w () in
+            Alcotest.(check bool) "harmful" true v.Explorer.v_harmful;
+            Alcotest.(check bool) "has witness" true (v.Explorer.v_witness <> None)
+        | _ -> Alcotest.fail "expected one surviving warning");
+    Alcotest.test_case "validate rejects a seeded false positive" `Quick (fun () ->
+        let src, _ =
+          Gen.generate
+            {
+              Spec.app_name = "t";
+              activities =
+                [ { Spec.act_name = "MainActivity"; patterns = [ Spec.P_fp_path ] } ];
+              services = 0;
+              padding = 0;
+            }
+        in
+        let t = Nadroid_core.Pipeline.analyze ~file:"t" src in
+        match t.Nadroid_core.Pipeline.after_unsound with
+        | [ w ] ->
+            let v = Explorer.validate t.Nadroid_core.Pipeline.prog w ~runs:80 () in
+            Alcotest.(check bool) "benign" false v.Explorer.v_harmful
+        | _ -> Alcotest.fail "expected one surviving warning");
+    Alcotest.test_case "exhaustive finds the menu crash" `Quick (fun () ->
+        let prog =
+          prog_of
+            {|class Data { method void op() { } }
+              class A extends Activity { field Data d;
+                method void onCreateContextMenu() { d.op(); } }|}
+        in
+        let npes = Explorer.exhaustive prog ~depth:4 in
+        Alcotest.(check int) "one distinct site" 1 (List.length npes));
+  ]
+
+let suite =
+  [ ("interp", interp_tests); ("world", world_tests); ("explorer", explorer_tests) ]

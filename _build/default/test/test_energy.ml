@@ -1,0 +1,122 @@
+(* No-sleep / energy-bug extension tests (§9): the static detector's
+   three verdicts, the teardown filter, wake-lock aliasing, and the
+   simulator's no-sleep oracle. *)
+
+open Nadroid_core
+module World = Nadroid_dynamic.World
+
+let detect src =
+  let t = Pipeline.analyze ~file:"t" src in
+  (t, Energy.detect t.Pipeline.threads)
+
+let kinds ws = List.map (fun w -> Fmt.str "%a" Energy.pp_kind w.Energy.nw_kind) ws
+
+let tests =
+  [
+    Alcotest.test_case "balanced acquire/release in one callback is safe" `Quick (fun () ->
+        let _, ws =
+          detect
+            {|class A extends Activity { field WakeLock wl;
+                method void onResume() {
+                  wl = this.getPowerManager().newWakeLock("t");
+                  wl.acquire();
+                  log("work");
+                  wl.release();
+                } }|}
+        in
+        Alcotest.(check (list string)) "clean" [] (kinds ws));
+    Alcotest.test_case "teardown release is lifecycle-ordered and safe" `Quick (fun () ->
+        let _, ws =
+          detect
+            {|class A extends Activity { field WakeLock wl;
+                method void onCreate() { wl = this.getPowerManager().newWakeLock("t"); }
+                method void onResume() { wl.acquire(); }
+                method void onPause() { wl.release(); } }|}
+        in
+        Alcotest.(check (list string)) "clean" [] (kinds ws));
+    Alcotest.test_case "missing release entirely" `Quick (fun () ->
+        let _, ws =
+          detect
+            {|class A extends Activity { field WakeLock wl;
+                method void onResume() {
+                  wl = this.getPowerManager().newWakeLock("t");
+                  wl.acquire();
+                } }|}
+        in
+        Alcotest.(check (list string)) "no-release" [ "no-release" ] (kinds ws));
+    Alcotest.test_case "error path that skips the release" `Quick (fun () ->
+        let _, ws =
+          detect
+            {|class A extends Activity { field WakeLock wl; field bool bad;
+                method void onResume() {
+                  wl = this.getPowerManager().newWakeLock("t");
+                  wl.acquire();
+                  if (bad) { log("skip"); } else { wl.release(); }
+                } }|}
+        in
+        Alcotest.(check (list string)) "leaky" [ "leaky-path" ] (kinds ws));
+    Alcotest.test_case "release only in an unordered click handler" `Quick (fun () ->
+        let _, ws =
+          detect
+            {|class A extends Activity { field WakeLock wl;
+                method void onCreate() {
+                  wl = this.getPowerManager().newWakeLock("t");
+                  this.findViewById(1).setOnClickListener(new OnClickListener() {
+                    method void onClick(View v) { wl.release(); }
+                  });
+                }
+                method void onResume() { wl.acquire(); } }|}
+        in
+        Alcotest.(check (list string)) "unordered" [ "unordered-release" ] (kinds ws));
+    Alcotest.test_case "releasing a different lock does not count" `Quick (fun () ->
+        let _, ws =
+          detect
+            {|class A extends Activity { field WakeLock a; field WakeLock b;
+                method void onCreate() {
+                  a = this.getPowerManager().newWakeLock("a");
+                  b = this.getPowerManager().newWakeLock("b");
+                }
+                method void onResume() { a.acquire(); }
+                method void onPause() { b.release(); } }|}
+        in
+        Alcotest.(check (list string)) "wrong lock" [ "no-release" ] (kinds ws));
+    Alcotest.test_case "service teardown also qualifies" `Quick (fun () ->
+        let _, ws =
+          detect
+            {|class S extends Service { field WakeLock wl;
+                method void onCreate() { wl = this.getPowerManager().newWakeLock("t"); }
+                method void onStartCommand(Intent i) { wl.acquire(); }
+                method void onDestroy() { wl.release(); } }|}
+        in
+        Alcotest.(check (list string)) "clean" [] (kinds ws));
+    Alcotest.test_case "dynamic no-sleep oracle" `Quick (fun () ->
+        let prog =
+          Nadroid_ir.Prog.of_source ~file:"t"
+            {|class A extends Activity { field WakeLock wl;
+                method void onResume() {
+                  wl = this.getPowerManager().newWakeLock("t");
+                  wl.acquire();
+                } }|}
+        in
+        let w = World.create prog in
+        let run prefix =
+          match
+            List.find_opt
+              (fun a ->
+                let s = Fmt.str "%a" World.pp_action a in
+                String.length s >= String.length prefix
+                && String.equal (String.sub s 0 (String.length prefix)) prefix)
+              (World.enabled_actions w)
+          with
+          | Some a -> World.perform w a
+          | None -> Alcotest.failf "no action %s" prefix
+        in
+        run "lifecycle:A.onCreate";
+        run "lifecycle:A.onStart";
+        run "lifecycle:A.onResume";
+        Alcotest.(check bool) "held but foreground" false (World.no_sleep_state w);
+        run "lifecycle:A.onPause";
+        Alcotest.(check bool) "held and backgrounded" true (World.no_sleep_state w));
+  ]
+
+let suite = [ ("energy", tests) ]

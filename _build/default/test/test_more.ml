@@ -1,0 +1,386 @@
+(* Second-layer coverage: differential testing of the interpreter against
+   a reference evaluator, cancellation semantics in the simulator,
+   multi-pair warning filtering, DOT export, and corpus-wide structural
+   invariants of the analyses. *)
+
+open Nadroid_ir
+open Nadroid_dynamic
+module Spec = Nadroid_corpus.Spec
+module Gen = Nadroid_corpus.Gen
+module Pipeline = Nadroid_core.Pipeline
+
+let prog_of src = Prog.of_source ~file:"t" src
+
+let run_app src script =
+  let prog = prog_of src in
+  let w = World.create prog in
+  List.iter
+    (fun prefix ->
+      match
+        List.find_opt
+          (fun a ->
+            let s = Fmt.str "%a" World.pp_action a in
+            String.length s >= String.length prefix
+            && String.equal (String.sub s 0 (String.length prefix)) prefix)
+          (World.enabled_actions w)
+      with
+      | Some a -> World.perform w a
+      | None -> Alcotest.failf "no enabled action matching %s" prefix)
+    script;
+  w
+
+(* -- differential interpreter testing ----------------------------------- *)
+
+(* Integer expressions with a reference OCaml evaluation. *)
+type iexpr = Lit of int | Add of iexpr * iexpr | Sub of iexpr * iexpr | Mul of iexpr * iexpr
+
+let rec ieval = function
+  | Lit n -> n
+  | Add (a, b) -> ieval a + ieval b
+  | Sub (a, b) -> ieval a - ieval b
+  | Mul (a, b) -> ieval a * ieval b
+
+let rec iprint = function
+  | Lit n -> string_of_int n
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (iprint a) (iprint b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (iprint a) (iprint b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (iprint a) (iprint b)
+
+let gen_iexpr : iexpr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then map (fun i -> Lit (i mod 100)) small_int
+         else
+           oneof
+             [
+               map (fun i -> Lit (i mod 100)) small_int;
+               map2 (fun a b -> Add (a, b)) (self (n / 2)) (self (n / 2));
+               map2 (fun a b -> Sub (a, b)) (self (n / 2)) (self (n / 2));
+               map2 (fun a b -> Mul (a, b)) (self (n / 2)) (self (n / 2));
+             ])
+
+let interp_matches_reference =
+  QCheck2.Test.make ~name:"interpreter agrees with a reference evaluator" ~count:150 gen_iexpr
+    (fun e ->
+      let src =
+        Printf.sprintf
+          "class A extends Activity { method void onCreate() { log(i2s(%s)); } }" (iprint e)
+      in
+      match Nadroid_lang.Diag.protect (fun () -> run_app src [ "lifecycle:A.onCreate" ]) with
+      | Error _ -> false
+      | Ok w -> World.logs w = [ string_of_int (ieval e) ])
+
+(* -- cancellation semantics --------------------------------------------- *)
+
+let cancellation_tests =
+  [
+    Alcotest.test_case "unbindService removes the connection" `Quick (fun () ->
+        let w =
+          run_app
+            {|class A extends Activity { field ServiceConnection conn;
+                method void onCreate() {
+                  conn = new ServiceConnection() {
+                    method void onServiceConnected(Binder b) { log("up"); }
+                    method void onServiceDisconnected() { log("down"); }
+                  };
+                  this.bindService(conn);
+                }
+                method void onBackPressed() { this.unbindService(conn); } }|}
+            [ "lifecycle:A.onCreate"; "lifecycle:A.onStart"; "ui:A.onBackPressed" ]
+        in
+        Alcotest.(check int) "no connections left" 0 (List.length w.World.connections));
+    Alcotest.test_case "unregisterReceiver removes the receiver" `Quick (fun () ->
+        let w =
+          run_app
+            {|class A extends Activity { field BroadcastReceiver r;
+                method void onCreate() {
+                  r = new BroadcastReceiver() { method void onReceive(Intent i) { log("rx"); } };
+                  this.registerReceiver(r);
+                  this.unregisterReceiver(r);
+                } }|}
+            [ "lifecycle:A.onCreate" ]
+        in
+        Alcotest.(check int) "no receivers" 0 (List.length w.World.receivers));
+    Alcotest.test_case "asynctask cancel drops the pending completion" `Quick (fun () ->
+        let w =
+          run_app
+            {|class A extends Activity { field AsyncTask task;
+                method void onCreate() {
+                  task = new AsyncTask() {
+                    method void doInBackground() { log("bg"); }
+                    method void onPostExecute() { log("done"); }
+                  };
+                  task.execute();
+                }
+                method void onBackPressed() { task.cancel(true); } }|}
+            [
+              "lifecycle:A.onCreate";
+              "lifecycle:A.onStart";
+              "thread:0" (* doInBackground runs, queues onPostExecute *);
+              "ui:A.onBackPressed" (* cancel drops it *);
+            ]
+        in
+        Alcotest.(check bool) "bg ran" true (List.mem "bg" (World.logs w));
+        Alcotest.(check int) "completion dropped" 0 (List.length w.World.queue));
+    Alcotest.test_case "removeUpdates stops location events" `Quick (fun () ->
+        let w =
+          run_app
+            {|class A extends Activity { field LocationListener l;
+                method void onCreate() {
+                  l = new LocationListener() {
+                    method void onLocationChanged(Location loc) { log("fix"); }
+                  };
+                  this.getLocationManager().requestLocationUpdates(l);
+                  this.getLocationManager().removeUpdates(l);
+                } }|}
+            [ "lifecycle:A.onCreate" ]
+        in
+        Alcotest.(check int) "no listeners" 0 (List.length w.World.locations));
+  ]
+
+(* -- multi-pair warnings -------------------------------------------------- *)
+
+let multi_pair_tests =
+  [
+    Alcotest.test_case "filters prune pairs, not whole warnings" `Quick (fun () ->
+        (* one use races with one free from two distinct posted threads:
+           one pair PHB-prunable (poster lineage), one not *)
+        let src =
+          {|class Data { method void op() { } }
+            class A extends Activity { field Data d; field Handler h;
+              method void onCreate() {
+                d = new Data();
+                h = new Handler() { method void handleMessage(Message m) { d = null; } };
+              }
+              method void onStart() {
+                // poster: use before posting the free
+                this.findViewById(1).setOnClickListener(new OnClickListener() {
+                  method void onClick(View v) { d.op(); h.sendEmptyMessage(0); }
+                });
+                // an unrelated click also posts the same free
+                this.findViewById(2).setOnClickListener(new OnClickListener() {
+                  method void onClick(View v) { h.sendEmptyMessage(0); }
+                });
+              } }|}
+        in
+        let t = Pipeline.analyze ~file:"t" src in
+        (* the use in onClick#1 races with handleMessage frees posted from
+           both clicks: the pair through its own post is PHB-pruned, the
+           pair through the other click's post survives *)
+        match t.Pipeline.after_unsound with
+        | [ w ] -> Alcotest.(check int) "one surviving pair" 1 (List.length w.Nadroid_core.Detect.w_pairs)
+        | ws -> Alcotest.failf "expected one warning, got %d" (List.length ws));
+  ]
+
+(* -- misc ------------------------------------------------------------------ *)
+
+let misc_tests =
+  [
+    Alcotest.test_case "DOT export covers every modeled thread" `Quick (fun () ->
+        let app = Option.get (Nadroid_corpus.Corpus.find "ConnectBot") in
+        let t = Pipeline.analyze ~file:"cb" app.Nadroid_corpus.Corpus.source in
+        let dot = Nadroid_core.Threadify.to_dot t.Pipeline.threads in
+        Alcotest.(check bool) "digraph" true (Astring.String.is_prefix ~affix:"digraph" dot);
+        List.iter
+          (fun th ->
+            Alcotest.(check bool)
+              (Printf.sprintf "node t%d present" th.Nadroid_core.Threadify.th_id)
+              true
+              (Astring.String.is_infix
+                 ~affix:(Printf.sprintf "t%d [" th.Nadroid_core.Threadify.th_id)
+                 dot))
+          (Nadroid_core.Threadify.threads t.Pipeline.threads));
+    Alcotest.test_case "count_loc ignores blank lines" `Quick (fun () ->
+        Alcotest.(check int) "three" 3 (Pipeline.count_loc "a\n\n  \nb\nc\n"));
+    Alcotest.test_case "guided runs are deterministic per seed" `Quick (fun () ->
+        let app = Option.get (Nadroid_corpus.Corpus.find "QKSMS") in
+        let t = Pipeline.analyze ~file:"q" app.Nadroid_corpus.Corpus.source in
+        match t.Pipeline.after_unsound with
+        | w :: _ ->
+            let o1 = Explorer.guided_run t.Pipeline.prog w ~seed:11 ~max_steps:25 in
+            let o2 = Explorer.guided_run t.Pipeline.prog w ~seed:11 ~max_steps:25 in
+            Alcotest.(check (list string)) "same trace"
+              (List.map (Fmt.str "%a" World.pp_action) o1.Explorer.o_trace)
+              (List.map (Fmt.str "%a" World.pp_action) o2.Explorer.o_trace)
+        | [] -> Alcotest.fail "expected warnings");
+  ]
+
+(* -- corpus-wide structural invariants -------------------------------------- *)
+
+let structural_invariant =
+  QCheck2.Test.make ~name:"analysis invariants hold on every corpus app" ~count:27
+    (QCheck2.Gen.oneofl (Lazy.force Nadroid_corpus.Corpus.all))
+    (fun (app : Nadroid_corpus.Corpus.app) ->
+      let t = Pipeline.analyze ~file:app.Nadroid_corpus.Corpus.name app.Nadroid_corpus.Corpus.source in
+      let pta = t.Pipeline.pta in
+      let n_inst = Nadroid_analysis.Pta.n_instances pta in
+      let n_obj = Nadroid_analysis.Pta.n_objects pta in
+      (* every edge endpoint is a valid instance *)
+      List.for_all
+        (fun (e : Nadroid_analysis.Pta.call_edge) ->
+          e.Nadroid_analysis.Pta.ce_from >= 0
+          && e.Nadroid_analysis.Pta.ce_from < n_inst
+          && e.Nadroid_analysis.Pta.ce_to >= 0
+          && e.Nadroid_analysis.Pta.ce_to < n_inst)
+        (Nadroid_analysis.Pta.edges pta)
+      (* escaping objects are real objects *)
+      && Nadroid_analysis.Pta.IntSet.for_all
+           (fun oid -> oid >= 0 && oid < n_obj)
+           t.Pipeline.esc.Nadroid_analysis.Escape.escaping
+      (* every thread's entry instance is valid; parents precede children *)
+      && List.for_all
+           (fun th ->
+             (th.Nadroid_core.Threadify.th_entry = -1
+             || (th.Nadroid_core.Threadify.th_entry >= 0
+                && th.Nadroid_core.Threadify.th_entry < n_inst))
+             &&
+             match th.Nadroid_core.Threadify.th_parent with
+             | Some p -> p < th.Nadroid_core.Threadify.th_id
+             | None -> th.Nadroid_core.Threadify.th_id = 0)
+           (Nadroid_core.Threadify.threads t.Pipeline.threads)
+      (* warnings only mention threads that exist, and use <> free thread *)
+      && List.for_all
+           (fun (w : Nadroid_core.Detect.warning) ->
+             w.Nadroid_core.Detect.w_pairs <> []
+             && List.for_all
+                  (fun (u, f) ->
+                    u <> f
+                    && u < Nadroid_core.Threadify.n_threads t.Pipeline.threads
+                    && f < Nadroid_core.Threadify.n_threads t.Pipeline.threads)
+                  w.Nadroid_core.Detect.w_pairs)
+           t.Pipeline.potential)
+
+let mhb_is_asymmetric =
+  QCheck2.Test.make ~name:"lifecycle must-happens-before is asymmetric" ~count:100
+    QCheck2.Gen.(
+      pair
+        (oneofl ("onClick" :: Nadroid_android.Callback.activity_lifecycle))
+        (oneofl ("onClick" :: Nadroid_android.Callback.activity_lifecycle)))
+    (fun (a, b) ->
+      not
+        (Nadroid_android.Lifecycle.must_happen_before ~first:a ~second:b
+        && Nadroid_android.Lifecycle.must_happen_before ~first:b ~second:a))
+
+(* -- MHP (the dropped Chord analysis, implemented for the ablation) ------- *)
+
+let mhp_tests =
+  [
+    Alcotest.test_case "join orders the callback after the thread" `Quick (fun () ->
+        let src =
+          {|class Data { method void op() { } }
+            class A extends Activity { field Data d;
+              method void onCreate() { d = new Data(); }
+              method void onStart() {
+                this.findViewById(1).setOnClickListener(new OnClickListener() {
+                  method void onClick(View v) {
+                    var Thread t = new Thread(new Runnable() {
+                      method void run() { d = null; }
+                    });
+                    t.start();
+                    t.join();
+                    d.op();
+                  }
+                });
+              } }|}
+        in
+        let t = Pipeline.analyze ~file:"t" src in
+        Alcotest.(check bool) "detected without MHP" true (List.length t.Pipeline.potential >= 1);
+        Alcotest.(check int) "pruned by MHP" 0
+          (List.length (Nadroid_core.Mhp.prune t.Pipeline.threads t.Pipeline.potential)));
+    Alcotest.test_case "no join, no MHP pruning" `Quick (fun () ->
+        let src =
+          {|class Data { method void op() { } }
+            class A extends Activity { field Data d;
+              method void onCreate() { d = new Data(); }
+              method void onStart() {
+                this.findViewById(1).setOnClickListener(new OnClickListener() {
+                  method void onClick(View v) {
+                    new Thread(new Runnable() { method void run() { d = null; } }).start();
+                    d.op();
+                  }
+                });
+              } }|}
+        in
+        let t = Pipeline.analyze ~file:"t" src in
+        Alcotest.(check int) "untouched" (List.length t.Pipeline.potential)
+          (List.length (Nadroid_core.Mhp.prune t.Pipeline.threads t.Pipeline.potential)));
+    Alcotest.test_case "use before the join stays parallel" `Quick (fun () ->
+        let src =
+          {|class Data { method void op() { } }
+            class A extends Activity { field Data d;
+              method void onCreate() { d = new Data(); }
+              method void onStart() {
+                this.findViewById(1).setOnClickListener(new OnClickListener() {
+                  method void onClick(View v) {
+                    var Thread t = new Thread(new Runnable() {
+                      method void run() { d = null; }
+                    });
+                    t.start();
+                    d.op();
+                    t.join();
+                  }
+                });
+              } }|}
+        in
+        let t = Pipeline.analyze ~file:"t" src in
+        Alcotest.(check int) "not pruned" (List.length t.Pipeline.potential)
+          (List.length (Nadroid_core.Mhp.prune t.Pipeline.threads t.Pipeline.potential)));
+  ]
+
+let replay_tests =
+  [
+    Alcotest.test_case "a validation witness replays to the same crash" `Quick (fun () ->
+        let src, _ =
+          Gen.generate
+            {
+              Spec.app_name = "t";
+              activities =
+                [ { Spec.act_name = "MainActivity"; patterns = [ Spec.P_ec_pc_uaf ] } ];
+              services = 0;
+              padding = 0;
+            }
+        in
+        let t = Pipeline.analyze ~file:"t" src in
+        match t.Pipeline.after_unsound with
+        | [ w ] -> (
+            let v = Explorer.validate t.Pipeline.prog w () in
+            match v.Explorer.v_witness with
+            | Some trace ->
+                let script = List.map (Fmt.str "%a" World.pp_action) trace in
+                let o = Explorer.replay t.Pipeline.prog script in
+                Alcotest.(check bool) "witness reproduces" true
+                  (List.exists (Explorer.npe_matches t.Pipeline.prog w) o.Explorer.o_npes)
+            | None -> Alcotest.fail "no witness")
+        | _ -> Alcotest.fail "expected one warning");
+    Alcotest.test_case "action strings round-trip through the parser" `Quick (fun () ->
+        let app = Option.get (Nadroid_corpus.Corpus.find "ConnectBot") in
+        let prog = prog_of app.Nadroid_corpus.Corpus.source in
+        let w = World.create prog in
+        List.iter
+          (fun a ->
+            let s = Fmt.str "%a" World.pp_action a in
+            match World.action_of_string w s with
+            | Some a' -> Alcotest.(check string) ("round-trip " ^ s) s (Fmt.str "%a" World.pp_action a')
+            | None -> Alcotest.failf "unparseable enabled action %s" s)
+          (World.enabled_actions w));
+    Alcotest.test_case "disabled actions are rejected" `Quick (fun () ->
+        let app = Option.get (Nadroid_corpus.Corpus.find "ConnectBot") in
+        let prog = prog_of app.Nadroid_corpus.Corpus.source in
+        let w = World.create prog in
+        (* onResume is not enabled from the initial state *)
+        Alcotest.(check bool) "rejected" true
+          (World.action_of_string w "lifecycle:ConsoleActivity.onResume" = None));
+  ]
+
+let suite =
+  [
+    ("interp-differential", [ QCheck_alcotest.to_alcotest interp_matches_reference ]);
+    ("world-cancellation", cancellation_tests);
+    ("filters-multipair", multi_pair_tests);
+    ("mhp", mhp_tests);
+    ("replay", replay_tests);
+    ("misc", misc_tests);
+    ( "invariants",
+      List.map QCheck_alcotest.to_alcotest [ structural_invariant; mhb_is_asymmetric ] );
+  ]

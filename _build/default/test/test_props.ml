@@ -1,0 +1,97 @@
+(* Compositional properties.
+
+   The corpus generator instantiates every pattern on its own field, so
+   pattern instances must be analysis-independent: the pipeline counts of
+   an app seeded with a random multiset of patterns must equal the sums
+   of the counts each pattern produces alone. This is a strong
+   end-to-end property — it fails if points-to ever confuses two
+   instances' objects, if a filter prunes across instances, or if
+   threadification miscounts — and it is exactly the assumption the
+   Table 1 calibration rests on.
+
+   Also: random-walk robustness of the simulator (no uncaught exceptions
+   on arbitrary corpus apps and seeds). *)
+
+module Spec = Nadroid_corpus.Spec
+module Gen = Nadroid_corpus.Gen
+module Pipeline = Nadroid_core.Pipeline
+
+(* patterns that are pairwise independent by construction (each owns its
+   field and views); P_chb is excluded because its finish() cancels the
+   whole activity and thus interferes with other instances' UI events *)
+let composable : Spec.pattern list =
+  [
+    Spec.P_ec_pc_uaf;
+    Spec.P_pc_pc_uaf;
+    Spec.P_c_rt_uaf;
+    Spec.P_ec_ec_uaf;
+    Spec.P_guarded;
+    Spec.P_intra_alloc;
+    Spec.P_mhb_service;
+    Spec.P_mhb_lifecycle;
+    Spec.P_ma;
+    Spec.P_ur;
+    Spec.P_tt;
+    Spec.P_fp_path;
+    Spec.P_safe;
+  ]
+
+let counts_of patterns =
+  let spec =
+    {
+      Spec.app_name = "prop";
+      activities = [ { Spec.act_name = "MainActivity"; patterns } ];
+      services = 0;
+      padding = 0;
+    }
+  in
+  let src, _ = Gen.generate spec in
+  let t = Pipeline.analyze ~file:"prop" src in
+  ( List.length t.Pipeline.potential,
+    List.length t.Pipeline.after_sound,
+    List.length t.Pipeline.after_unsound )
+
+(* per-pattern counts, computed once *)
+let singleton_counts : (Spec.pattern * (int * int * int)) list Lazy.t =
+  lazy (List.map (fun p -> (p, counts_of [ p ])) composable)
+
+let composition =
+  QCheck2.Test.make ~name:"pipeline counts compose over independent patterns" ~count:25
+    QCheck2.Gen.(list_size (int_range 2 6) (oneofl composable))
+    (fun patterns ->
+      let p, s, u = counts_of patterns in
+      let ep, es, eu =
+        List.fold_left
+          (fun (p, s, u) pat ->
+            let p', s', u' = List.assoc pat (Lazy.force singleton_counts) in
+            (p + p', s + s', u + u'))
+          (0, 0, 0) patterns
+      in
+      p = ep && s = es && u = eu)
+
+let random_walks_do_not_raise =
+  QCheck2.Test.make ~name:"random simulator walks never raise" ~count:40
+    QCheck2.Gen.(
+      pair (oneofl (Lazy.force Nadroid_corpus.Corpus.all)) (int_bound 1000))
+    (fun ((app : Nadroid_corpus.Corpus.app), seed) ->
+      let prog = Nadroid_ir.Prog.of_source ~file:app.Nadroid_corpus.Corpus.name app.Nadroid_corpus.Corpus.source in
+      let o = Nadroid_dynamic.Explorer.random_run prog ~seed ~max_steps:50 in
+      o.Nadroid_dynamic.Explorer.o_steps <= 50)
+
+let generated_sources_reanalyze_deterministically =
+  QCheck2.Test.make ~name:"analysis is deterministic" ~count:8
+    (QCheck2.Gen.oneofl (Lazy.force Nadroid_corpus.Corpus.test))
+    (fun (app : Nadroid_corpus.Corpus.app) ->
+      let run () =
+        let t = Pipeline.analyze ~file:app.Nadroid_corpus.Corpus.name app.Nadroid_corpus.Corpus.source in
+        List.map Nadroid_core.Detect.warning_key t.Pipeline.after_unsound
+      in
+      run () = run ())
+
+let suite =
+  [
+    ( "composition",
+      List.map QCheck_alcotest.to_alcotest
+        [ composition; random_walks_do_not_raise; generated_sources_reanalyze_deterministically ]
+    );
+  ]
