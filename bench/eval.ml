@@ -40,6 +40,12 @@ let evaluate ?config (app : Corpus.app) : evaluated =
 
 let harmful_count e = List.length (List.filter snd e.verdicts)
 
+(* Evaluate a batch of apps (analysis + schedule validation) on a domain
+   pool; output order is input order, independent of [jobs]. *)
+let evaluate_all ?config ?jobs (apps : Corpus.app list) : evaluated list =
+  ignore (Lazy.force Nadroid_lang.Builtins.program);
+  Nadroid_core.Parallel.map ?jobs (evaluate ?config) apps
+
 (* Map a warning back to the pattern that seeded it: generated fields are
    declared on the activity named in the seed record. *)
 let seeded_of (app : Corpus.app) (w : Detect.warning) : Spec.seeded option =

@@ -23,14 +23,14 @@ module Threadify = Nadroid_core.Threadify
 (* Table 1                                                            *)
 (* ---------------------------------------------------------------- *)
 
-let table1 () =
+let table1 ~jobs () =
   Eval.section "Table 1: nAdroid's UAF analysis over the 27-app corpus";
   let rows = ref [] in
   let tot = ref (0, 0, 0) in
   let harmful_total = ref 0 in
   List.iter
-    (fun (app : Corpus.app) ->
-      let e = Eval.evaluate app in
+    (fun (e : Eval.evaluated) ->
+      let app = e.Eval.app in
       let r = e.Eval.row in
       let harmful = Eval.harmful_count e in
       harmful_total := !harmful_total + harmful;
@@ -73,7 +73,7 @@ let table1 () =
           fp "unattributed";
         ]
         :: !rows)
-    (Lazy.force Corpus.all);
+    (Eval.evaluate_all ~jobs (Lazy.force Corpus.all));
   Eval.print_table
     ~header:
       [
@@ -97,9 +97,9 @@ let table1 () =
 
 (* Effectiveness of each filter applied individually, over the 20 test
    apps (the paper excludes the train group from Figure 5). *)
-let fig5 () =
+let fig5 ~jobs () =
   Eval.section "Figure 5(a): sound filters applied individually (20 test apps)";
-  let evaluated = List.map (fun app -> (app, Eval.analyze app)) (Lazy.force Corpus.test) in
+  let evaluated = Corpus.analyze_all ~jobs (Lazy.force Corpus.test) in
   let count_pruned names stage =
     List.fold_left
       (fun (pruned, total) ((_app : Corpus.app), (t : Pipeline.t)) ->
@@ -132,7 +132,7 @@ let fig5 () =
 (* Table 2                                                            *)
 (* ---------------------------------------------------------------- *)
 
-let table2 () =
+let table2 ~jobs () =
   Eval.section
     "Table 2: false-negative study — 28 artificial UAFs injected into 8 apps (paper: 2 missed \
      by detection, 3 pruned by the unsound CHB filter)";
@@ -141,11 +141,17 @@ let table2 () =
   in
   let rows = ref [] in
   let totals = Array.make 8 0 in
+  let analyzed =
+    Nadroid_core.Parallel.map ~jobs
+      (fun (inj : Corpus.injected_app) ->
+        ( inj,
+          Pipeline.analyze
+            ~file:(inj.Corpus.inj_base.Corpus.name ^ "+inj")
+            inj.Corpus.inj_source ))
+      (Lazy.force Corpus.injected)
+  in
   List.iter
-    (fun (inj : Corpus.injected_app) ->
-      let t =
-        Pipeline.analyze ~file:(inj.Corpus.inj_base.Corpus.name ^ "+inj") inj.Corpus.inj_source
-      in
+    (fun ((inj : Corpus.injected_app), (t : Pipeline.t)) ->
       let field_has warnings (sd : Spec.seeded) =
         List.exists
           (fun (w : Detect.warning) ->
@@ -173,7 +179,7 @@ let table2 () =
       in
       List.iteri (fun i v -> totals.(i) <- totals.(i) + v) vals;
       rows := (inj.Corpus.inj_base.Corpus.name :: List.map string_of_int vals) :: !rows)
-    (Lazy.force Corpus.injected);
+    analyzed;
   let total_row = "TOTAL" :: Array.to_list (Array.map string_of_int totals) in
   Eval.print_table ~header (List.rev !rows @ [ total_row ]);
   Printf.printf
@@ -267,21 +273,56 @@ let table3 () =
 (* §8.8 timing                                                        *)
 (* ---------------------------------------------------------------- *)
 
-let timing () =
+(* Machine-readable bench point: per-app phase metrics plus aggregate
+   totals, one JSON document on stdout. The per-phase times sum to the
+   measured per-app wall time (create_ctx included under filtering). *)
+let timing_json ~jobs ~elapsed analyzed =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Printf.sprintf "{\"jobs\":%d,\"apps\":[" jobs);
+  List.iteri
+    (fun i ((app : Corpus.app), (t : Pipeline.t)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Nadroid_core.Report.metrics_to_json ~name:app.Corpus.name t.Pipeline.metrics))
+    analyzed;
+  let m, d, f, sum, wall =
+    List.fold_left
+      (fun (m, d, f, sum, wall) ((_ : Corpus.app), (t : Pipeline.t)) ->
+        ( m +. t.Pipeline.timings.Pipeline.t_modeling,
+          d +. t.Pipeline.timings.Pipeline.t_detection,
+          f +. t.Pipeline.timings.Pipeline.t_filtering,
+          sum +. Pipeline.phase_sum t.Pipeline.metrics,
+          wall +. t.Pipeline.metrics.Pipeline.m_wall ))
+      (0.0, 0.0, 0.0, 0.0, 0.0) analyzed
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"totals\":{\"modeling\":%.6f,\"detection\":%.6f,\"filtering\":%.6f,\"phase_sum\":%.6f,\"wall\":%.6f,\"elapsed\":%.6f}}"
+       m d f sum wall elapsed);
+  print_endline (Buffer.contents buf)
+
+let timing ~jobs ~json () =
+  (* [elapsed] is the batch wall clock; under [jobs] > 1 the per-app wall
+     times overlap, so their sum exceeds it. *)
+  let t0 = Unix.gettimeofday () in
+  let analyzed = Corpus.analyze_all ~jobs (Lazy.force Corpus.all) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if json then timing_json ~jobs ~elapsed analyzed
+  else begin
   Eval.section
     "Analysis execution time (§8.8: modeling ~1.2%, detection ~95.7%, filtering ~3.1%)";
   let m = ref 0.0 and d = ref 0.0 and f = ref 0.0 in
   List.iter
-    (fun (app : Corpus.app) ->
-      let t = Eval.analyze app in
+    (fun ((_ : Corpus.app), (t : Pipeline.t)) ->
       m := !m +. t.Pipeline.timings.Pipeline.t_modeling;
       d := !d +. t.Pipeline.timings.Pipeline.t_detection;
       f := !f +. t.Pipeline.timings.Pipeline.t_filtering)
-    (Lazy.force Corpus.all);
+    analyzed;
   let total = !m +. !d +. !f in
   Printf.printf "  modeling  : %8.3f s  (%5.2f%%)\n" !m (100.0 *. !m /. total);
   Printf.printf "  detection : %8.3f s  (%5.2f%%)\n" !d (100.0 *. !d /. total);
   Printf.printf "  filtering : %8.3f s  (%5.2f%%)\n" !f (100.0 *. !f /. total);
+  Printf.printf "  batch wall: %8.3f s  (%d job%s)\n" elapsed jobs (if jobs = 1 then "" else "s");
   (* Bechamel micro-benchmarks of the three phases on a mid-size app *)
   print_newline ();
   let open Bechamel in
@@ -321,6 +362,7 @@ let timing () =
       | Some (t :: _) -> Printf.printf "  %-32s %12.0f ns/run\n" name t
       | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
     results
+  end
 
 (* ---------------------------------------------------------------- *)
 (* Ablations                                                          *)
@@ -497,24 +539,47 @@ let extension () =
 (* ---------------------------------------------------------------- *)
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* usage: main.exe [EXPERIMENT] [--jobs N] [--json]
+     --jobs parallelizes the corpus drivers over N domains (default: all
+     cores); --json makes `timing` emit a machine-readable bench point. *)
+  let which = ref "all" and jobs = ref (Nadroid_core.Parallel.default_jobs ()) and json = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            exit 2);
+        parse rest
+    | arg :: rest ->
+        which := arg;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let jobs = !jobs and json = !json in
+  (* force the shared builtin-program lazy before any domain spawns *)
+  ignore (Lazy.force Nadroid_lang.Builtins.program);
   let all =
     [
-      ("table1", table1);
-      ("fig5", fig5);
-      ("table2", table2);
+      ("table1", table1 ~jobs);
+      ("fig5", fig5 ~jobs);
+      ("table2", table2 ~jobs);
       ("table3", table3);
-      ("timing", timing);
+      ("timing", timing ~jobs ~json);
       ("ablation", ablation);
       ("extension", extension);
     ]
   in
-  match List.assoc_opt which all with
+  match List.assoc_opt !which all with
   | Some f -> f ()
   | None ->
-      if String.equal which "all" then List.iter (fun (_, f) -> f ()) all
+      if String.equal !which "all" then List.iter (fun (_, f) -> f ()) all
       else begin
-        Printf.eprintf "unknown experiment %s (expected: all %s)\n" which
+        Printf.eprintf "unknown experiment %s (expected: all %s)\n" !which
           (String.concat " " (List.map fst all));
         exit 2
       end

@@ -46,17 +46,53 @@ let analyze_pipeline path k sound_only =
   with_diag (fun () -> Pipeline.analyze ~config ~file:path src)
 
 let analyze_cmd =
-  let run path k sound_only =
-    let t = analyze_pipeline path k sound_only in
-    Fmt.pr "potential UAFs: %d; after sound filters: %d; after unsound filters: %d@.@."
-      (List.length t.Pipeline.potential)
-      (List.length t.Pipeline.after_sound)
-      (List.length t.Pipeline.after_unsound);
-    print_string (Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound)
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"MiniAndroid source file(s)")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"analyze the FILEs on $(docv) domains in parallel (default 1)")
+  in
+  let timings_arg =
+    Arg.(
+      value & flag
+      & info [ "timings" ] ~doc:"print the per-phase timing breakdown and filter prune counts")
+  in
+  let run files k sound_only jobs timings =
+    let config =
+      {
+        Pipeline.default_config with
+        Pipeline.k;
+        unsound = (if sound_only then [] else Filters.unsound);
+      }
+    in
+    (* force the shared builtin-program lazy before any domain spawns *)
+    ignore (Lazy.force Nadroid_lang.Builtins.program);
+    let results =
+      with_diag (fun () ->
+          Nadroid_core.Parallel.map ~jobs
+            (fun path -> (path, Pipeline.analyze ~config ~file:path (read_file path)))
+            files)
+    in
+    List.iter
+      (fun (path, (t : Pipeline.t)) ->
+        if List.length files > 1 then Fmt.pr "== %s ==@." path;
+        Fmt.pr "potential UAFs: %d; after sound filters: %d; after unsound filters: %d@.@."
+          (List.length t.Pipeline.potential)
+          (List.length t.Pipeline.after_sound)
+          (List.length t.Pipeline.after_unsound);
+        print_string (Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound);
+        if timings then Fmt.pr "%a" Nadroid_core.Report.pp_metrics t.Pipeline.metrics)
+      results
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"statically detect UAF ordering violations")
-    Term.(const run $ file_arg $ k_arg $ sound_only_arg)
+    Term.(const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg)
 
 let validate_cmd =
   let runs_arg =

@@ -111,33 +111,26 @@ let collect_accesses (tf : Threadify.t) : access list * access list =
     (Threadify.threads tf);
   (!uses, !frees)
 
-(* Do two accesses touch the same abstract memory? Statics match by field
-   key; instance fields need a common, escaping base object. *)
-let may_alias (esc : Escape.t) (a : access) (b : access) =
-  String.equal (field_key a.a_field) (field_key b.a_field)
-  &&
-  if a.a_static || b.a_static then true
-  else
-    let common = IntSet.inter a.a_objs b.a_objs in
-    IntSet.exists (fun oid -> Escape.escapes esc oid) common
+(* Do two accesses touch the same abstract memory, assuming they are on
+   the same abstract field? Two static accesses of one field name the
+   same cell; two instance accesses need a common, escaping base object.
+   A static and an instance access never alias — they live in different
+   storage even when the field keys collide. *)
+let alias_memory (esc : Escape.t) (a : access) (b : access) =
+  match (a.a_static, b.a_static) with
+  | true, true -> true
+  | false, false ->
+      let common = IntSet.inter a.a_objs b.a_objs in
+      IntSet.exists (fun oid -> Escape.escapes esc oid) common
+  | true, false | false, true -> false
 
-(* The candidate join, expressed in Datalog over interned access ids:
+let may_alias (esc : Escape.t) (a : access) (b : access) =
+  String.equal (field_key a.a_field) (field_key b.a_field) && alias_memory esc a b
+
+(* The race rule both joins share:
      race(U, F) :- use_at(U, K), free_at(F, K), alias(U, F).
    [alias] is loaded as an EDB relation computed from points-to overlap. *)
-let candidate_join (esc : Escape.t) (uses : access array) (frees : access array) :
-    (int * int) list =
-  let db = Nadroid_datalog.Engine.create () in
-  let uid i = "u" ^ string_of_int i and fid i = "f" ^ string_of_int i in
-  Array.iteri (fun i a -> Nadroid_datalog.Engine.fact db "use_at" [ uid i; field_key a.a_field ]) uses;
-  Array.iteri (fun i a -> Nadroid_datalog.Engine.fact db "free_at" [ fid i; field_key a.a_field ]) frees;
-  Array.iteri
-    (fun i a ->
-      Array.iteri
-        (fun j b ->
-          if a.a_thread <> b.a_thread && may_alias esc a b then
-            Nadroid_datalog.Engine.fact db "alias" [ uid i; fid j ])
-        frees)
-    uses;
+let solve_race db : (int * int) list =
   let v x = Nadroid_datalog.Engine.Var x in
   Nadroid_datalog.Engine.add_rule db
     (Nadroid_datalog.Engine.atom "race" [ v "u"; v "f" ])
@@ -156,36 +149,105 @@ let candidate_join (esc : Escape.t) (uses : access array) (frees : access array)
       | _ -> None)
     (Nadroid_datalog.Engine.query db "race")
 
+(* Alias facts are generated per field bucket: accesses are grouped by
+   interned field key first, so the pair enumeration is O(sum over
+   fields of uses_f * frees_f) instead of the |uses| * |frees| global
+   cross-product with a string comparison per pair. The Datalog [race]
+   join itself is unchanged, mirroring Chord's bddbddb pipeline. *)
+let candidate_join (esc : Escape.t) (uses : access array) (frees : access array) :
+    (int * int) list =
+  let db = Nadroid_datalog.Engine.create () in
+  let sym = Nadroid_datalog.Engine.symbols db in
+  let uid i = "u" ^ string_of_int i and fid i = "f" ^ string_of_int i in
+  (* intern every access's field key once, up front *)
+  let ukeys = Array.map (fun a -> field_key a.a_field) uses in
+  let fkeys = Array.map (fun a -> field_key a.a_field) frees in
+  let ukey_ids = Array.map (Nadroid_datalog.Symbol.intern sym) ukeys in
+  let fkey_ids = Array.map (Nadroid_datalog.Symbol.intern sym) fkeys in
+  Nadroid_datalog.Engine.facts db "use_at"
+    (List.init (Array.length uses) (fun i -> [ uid i; ukeys.(i) ]));
+  Nadroid_datalog.Engine.facts db "free_at"
+    (List.init (Array.length frees) (fun i -> [ fid i; fkeys.(i) ]));
+  (* bucket frees by interned key, then enumerate per-bucket pairs *)
+  let buckets : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun j k ->
+      match Hashtbl.find_opt buckets k with
+      | Some l -> l := j :: !l
+      | None -> Hashtbl.add buckets k (ref [ j ]))
+    fkey_ids;
+  let alias = ref [] in
+  Array.iteri
+    (fun i a ->
+      match Hashtbl.find_opt buckets ukey_ids.(i) with
+      | None -> ()
+      | Some frees_of_key ->
+          List.iter
+            (fun j ->
+              let b = frees.(j) in
+              if a.a_thread <> b.a_thread && alias_memory esc a b then
+                alias := [ uid i; fid j ] :: !alias)
+            !frees_of_key)
+    uses;
+  Nadroid_datalog.Engine.facts db "alias" !alias;
+  solve_race db
+
+(* Reference oracle for the equivalence property test: the original
+   naive cross-product join, per-pair field-key comparison included. *)
+let candidate_join_naive (esc : Escape.t) (uses : access array) (frees : access array) :
+    (int * int) list =
+  let db = Nadroid_datalog.Engine.create () in
+  let uid i = "u" ^ string_of_int i and fid i = "f" ^ string_of_int i in
+  Array.iteri (fun i a -> Nadroid_datalog.Engine.fact db "use_at" [ uid i; field_key a.a_field ]) uses;
+  Array.iteri (fun i a -> Nadroid_datalog.Engine.fact db "free_at" [ fid i; field_key a.a_field ]) frees;
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if a.a_thread <> b.a_thread && may_alias esc a b then
+            Nadroid_datalog.Engine.fact db "alias" [ uid i; fid j ])
+        frees)
+    uses;
+  solve_race db
+
 (* Detect all potential UAF warnings, deduplicated to (use site, free
    site) pairs as in the paper ("each warning is a pair of free-use
    operations", §8.3). *)
-let run (tf : Threadify.t) (esc : Escape.t) : warning list =
+let run_with ~join (tf : Threadify.t) (esc : Escape.t) : warning list =
   let uses_l, frees_l = collect_accesses tf in
   let uses = Array.of_list uses_l and frees = Array.of_list frees_l in
-  let pairs = candidate_join esc uses frees in
-  let table : (string * string, warning ref) Hashtbl.t = Hashtbl.create 64 in
+  let pairs = join esc uses frees in
+  (* pair membership is tracked per warning in a hash set (the pair list
+     used to be scanned with [List.mem], quadratic in pairs); the
+     accumulated [w_pairs] order is unchanged *)
+  let table : (string * string, warning ref * (int * int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let order = ref [] in
   List.iter
     (fun (ui, fi) ->
       let u = uses.(ui) and f = frees.(fi) in
       let key = (site_key u.a_site, site_key f.a_site) in
+      let p = (u.a_thread, f.a_thread) in
       match Hashtbl.find_opt table key with
-      | Some w ->
-          let p = (u.a_thread, f.a_thread) in
-          if not (List.mem p !w.w_pairs) then w := { !w with w_pairs = p :: !w.w_pairs }
+      | Some (w, seen) ->
+          if not (Hashtbl.mem seen p) then begin
+            Hashtbl.add seen p ();
+            w := { !w with w_pairs = p :: !w.w_pairs }
+          end
       | None ->
           let w =
-            ref
-              {
-                w_field = u.a_field;
-                w_use = u.a_site;
-                w_free = f.a_site;
-                w_pairs = [ (u.a_thread, f.a_thread) ];
-              }
+            ref { w_field = u.a_field; w_use = u.a_site; w_free = f.a_site; w_pairs = [ p ] }
           in
-          Hashtbl.add table key w;
+          let seen = Hashtbl.create 8 in
+          Hashtbl.add seen p ();
+          Hashtbl.add table key (w, seen);
           order := key :: !order)
     pairs;
-  List.rev_map (fun key -> !(Hashtbl.find table key)) !order
+  List.rev_map (fun key -> !(fst (Hashtbl.find table key))) !order
+
+let run tf esc = run_with ~join:candidate_join tf esc
+
+let run_reference tf esc = run_with ~join:candidate_join_naive tf esc
 
 let n_warnings = List.length

@@ -18,6 +18,21 @@ val pp_site : site Fmt.t
 
 val site_key : site -> string
 
+(** One field access executed by a modeled thread. *)
+type access = {
+  a_thread : int;  (** thread id *)
+  a_site : site;
+  a_field : Instr.fref;
+  a_objs : IntSet.t;  (** abstract base objects; empty for statics *)
+  a_static : bool;
+}
+
+val may_alias : Escape.t -> access -> access -> bool
+(** Do two accesses touch the same abstract memory? Same field key, and
+    either both static, or both instance with a common escaping base
+    object. A static and an instance access never alias, even when their
+    field keys collide. *)
+
 type warning = {
   w_field : Instr.fref;
   w_use : site;
@@ -33,6 +48,14 @@ val field_key : Instr.fref -> string
 
 val run : Threadify.t -> Escape.t -> warning list
 (** All potential UAFs, deduplicated to (use site, free site) pairs as
-    in the paper ("each warning is a pair of free-use operations"). *)
+    in the paper ("each warning is a pair of free-use operations").
+    The candidate join buckets accesses by interned field key before
+    generating alias facts, so pair enumeration is linear in the
+    per-field use/free products. *)
+
+val run_reference : Threadify.t -> Escape.t -> warning list
+(** Oracle for the equivalence property test: identical semantics to
+    {!run}, but alias facts come from the naive uses x frees
+    cross-product with a per-pair field-key comparison. *)
 
 val n_warnings : warning list -> int

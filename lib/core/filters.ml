@@ -384,5 +384,33 @@ let apply ctx names (ws : Detect.warning list) : Detect.warning list =
       match pairs with [] -> None | _ :: _ -> Some { w with Detect.w_pairs = pairs })
     ws
 
+(* Same pruning as {!apply}, but every filter is evaluated on every pair
+   and each pruning filter is credited, so overlapping filters both
+   count (the per-filter columns of the metrics record). *)
+let apply_counted ctx names (ws : Detect.warning list) :
+    Detect.warning list * (name * int) list =
+  let counts = List.map (fun n -> (n, ref 0)) names in
+  let survivors =
+    List.filter_map
+      (fun (w : Detect.warning) ->
+        let pairs =
+          List.filter
+            (fun p ->
+              let pruned = ref false in
+              List.iter2
+                (fun n (_, c) ->
+                  if prunes ctx n w p then begin
+                    incr c;
+                    pruned := true
+                  end)
+                names counts;
+              not !pruned)
+            w.Detect.w_pairs
+        in
+        match pairs with [] -> None | _ :: _ -> Some { w with Detect.w_pairs = pairs })
+      ws
+  in
+  (survivors, List.map (fun (n, c) -> (n, !c)) counts)
+
 (* Number of warnings fully pruned when only [names] are enabled. *)
 let pruned_count ctx names ws = List.length ws - List.length (apply ctx names ws)

@@ -43,6 +43,12 @@ val apply : ctx -> name list -> Detect.warning list -> Detect.warning list
 (** Prune pairs by every listed filter; drop warnings with no surviving
     pair. *)
 
+val apply_counted :
+  ctx -> name list -> Detect.warning list -> Detect.warning list * (name * int) list
+(** Same survivors as {!apply}, plus the number of (warning, pair)
+    combinations each filter pruned. Every filter is evaluated on every
+    pair, so overlapping filters are each credited. *)
+
 val pruned_count : ctx -> name list -> Detect.warning list -> int
 (** Warnings fully pruned when only [names] are enabled — the Figure 5
     per-filter measurements. *)

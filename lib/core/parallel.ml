@@ -1,0 +1,54 @@
+(* A small fixed-size domain pool for data-parallel analysis.
+
+   Work items are claimed from a mutex-protected counter and results are
+   written back into a slot array indexed by input position, so the
+   output order (and content) is independent of the number of domains
+   and of scheduling. The first exception raised by any task aborts the
+   remaining work and is re-raised in the caller once every domain has
+   joined. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+type 'b slot = Pending | Done of 'b
+
+let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else if jobs = 1 || n = 1 then List.map f xs
+  else begin
+    let results = Array.make n Pending in
+    let m = Mutex.create () in
+    let next = ref 0 in
+    let failed : exn option ref = ref None in
+    let claim () =
+      Mutex.lock m;
+      let r = if !failed <> None || !next >= n then None else Some !next in
+      if r <> None then incr next;
+      Mutex.unlock m;
+      r
+    in
+    let fail e =
+      Mutex.lock m;
+      if !failed = None then failed := Some e;
+      Mutex.unlock m
+    in
+    let rec worker () =
+      match claim () with
+      | None -> ()
+      | Some i ->
+          (match f items.(i) with
+          | r -> results.(i) <- Done r
+          | exception e -> fail e);
+          worker ()
+    in
+    let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    match !failed with
+    | Some e -> raise e
+    | None ->
+        Array.to_list
+          (Array.map (function Done r -> r | Pending -> assert false) results)
+  end

@@ -1,0 +1,16 @@
+(** A fixed-size domain pool (OCaml 5 [Domain]/[Mutex]) for data-parallel
+    analysis over independent work items.
+
+    Results are returned in input order regardless of [jobs] or
+    scheduling; tasks must not share mutable state. The first exception
+    raised by any task aborts the remaining work and is re-raised in the
+    caller after all domains have joined. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element on up to [jobs]
+    domains (default {!default_jobs}; [jobs = 1] runs in the calling
+    domain with no spawns). Deterministic: same output as [List.map f xs]
+    whenever [f] is pure. *)

@@ -19,6 +19,28 @@ val default_config : config
 
 type timings = { t_modeling : float; t_detection : float; t_filtering : float }
 
+(** Per-phase wall times plus per-filter prune counts. Every timed
+    region of the analysis is attributed to exactly one field, so
+    {!phase_sum} equals [m_wall] up to the plumbing between clock
+    reads. *)
+type metrics = {
+  m_pta : float;  (** points-to analysis *)
+  m_aux : float;  (** escape + lockset analyses *)
+  m_threadify : float;  (** forest construction (= modeling) *)
+  m_detect : float;  (** access collection + candidate join *)
+  m_ctx : float;  (** filter-context (guards / component map) construction *)
+  m_filter : float;  (** sound + unsound filter application *)
+  m_wall : float;  (** wall time of the whole analysis *)
+  m_pruned : (Filters.name * int) list;
+      (** (warning, pair) combinations pruned, credited per filter *)
+}
+
+val phase_sum : metrics -> float
+
+val timings_of_metrics : metrics -> timings
+(** The paper's three-phase split (§8.8): modeling = threadify,
+    detection = points-to + aux + join, filtering = context + filters. *)
+
 type t = {
   prog : Prog.t;
   pta : Pta.t;
@@ -30,6 +52,7 @@ type t = {
   after_sound : Detect.warning list;
   after_unsound : Detect.warning list;
   timings : timings;
+  metrics : metrics;
   config : config;
 }
 
@@ -51,6 +74,7 @@ type row = {
 }
 
 val count_loc : string -> int
+(** Non-blank, non-comment-only ([//]) lines of MiniAndroid source. *)
 
 val row : ?src:string -> t -> row
 

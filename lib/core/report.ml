@@ -44,6 +44,59 @@ let pp ppf r =
   Fmt.pf ppf "  free: %s (%a)@\n" r.free_site Loc.pp r.free_loc;
   List.iter (fun l -> Fmt.pf ppf "        via %s@\n" l) r.free_lineages
 
+(* -- per-phase metrics (§8.8) ------------------------------------------- *)
+
+let pp_metrics ppf (m : Pipeline.metrics) =
+  let line name v =
+    Fmt.pf ppf "  %-12s %8.3f ms  (%5.1f%%)@\n" name (1000.0 *. v)
+      (if m.Pipeline.m_wall > 0.0 then 100.0 *. v /. m.Pipeline.m_wall else 0.0)
+  in
+  Fmt.pf ppf "analysis phases:@\n";
+  line "points-to" m.Pipeline.m_pta;
+  line "escape+locks" m.Pipeline.m_aux;
+  line "threadify" m.Pipeline.m_threadify;
+  line "detect" m.Pipeline.m_detect;
+  line "filter-ctx" m.Pipeline.m_ctx;
+  line "filters" m.Pipeline.m_filter;
+  Fmt.pf ppf "  %-12s %8.3f ms@\n" "wall" (1000.0 *. m.Pipeline.m_wall);
+  match m.Pipeline.m_pruned with
+  | [] -> ()
+  | pruned ->
+      Fmt.pf ppf "pairs pruned per filter:";
+      List.iter
+        (fun (n, c) -> Fmt.pf ppf " %a=%d" Filters.pp_name n c)
+        pruned;
+      Fmt.pf ppf "@\n"
+
+(* Machine-readable metrics: one flat JSON object (no external JSON
+   dependency; every value is a number except the name). *)
+let metrics_to_json ?name (m : Pipeline.metrics) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  (match name with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "\"name\":%S," n)
+  | None -> ());
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "\"%s\":%.6f," k v))
+    [
+      ("pta", m.Pipeline.m_pta);
+      ("aux", m.Pipeline.m_aux);
+      ("threadify", m.Pipeline.m_threadify);
+      ("detect", m.Pipeline.m_detect);
+      ("create_ctx", m.Pipeline.m_ctx);
+      ("filter", m.Pipeline.m_filter);
+      ("phase_sum", Pipeline.phase_sum m);
+      ("wall", m.Pipeline.m_wall);
+    ];
+  Buffer.add_string buf "\"pruned\":{";
+  List.iteri
+    (fun i (n, c) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (Filters.name_to_string n) c))
+    m.Pipeline.m_pruned;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
 let pp_all ppf (tf : Threadify.t) (ws : Detect.warning list) =
   (* highest-risk categories first, per the §7 triage hypothesis *)
   let reports = List.map (of_warning tf) ws in

@@ -25,3 +25,12 @@ val pp_all : Format.formatter -> Threadify.t -> Detect.warning list -> unit
 (** Highest-risk categories first. *)
 
 val to_string : Threadify.t -> Detect.warning list -> string
+
+val pp_metrics : Pipeline.metrics Fmt.t
+(** Human-readable per-phase breakdown and per-filter prune counts. *)
+
+val metrics_to_json : ?name:string -> Pipeline.metrics -> string
+(** One flat JSON object:
+    [{"name":..., "pta":s, "aux":s, "threadify":s, "detect":s,
+      "create_ctx":s, "filter":s, "phase_sum":s, "wall":s,
+      "pruned":{"MHB":n, ...}}] (times in seconds). *)

@@ -28,6 +28,19 @@ let all : app list Lazy.t = lazy (Lazy.force train @ Lazy.force test)
 let find name =
   List.find_opt (fun a -> String.equal a.name name) (Lazy.force all)
 
+(* Analyze a batch of apps on a domain pool. Each analysis is
+   self-contained (per-engine interning, per-run hashtables), so apps
+   parallelize without shared state; results come back in input order,
+   independent of [jobs]. *)
+let analyze_all ?config ?jobs (apps : app list) :
+    (app * Nadroid_core.Pipeline.t) list =
+  (* the builtin framework program is a global lazy: force it before
+     spawning so domains never race on the thunk *)
+  ignore (Lazy.force Nadroid_lang.Builtins.program);
+  Nadroid_core.Parallel.map ?jobs
+    (fun app -> (app, Nadroid_core.Pipeline.analyze ?config ~file:app.name app.source))
+    apps
+
 (* -- Table 2: artificial UAF injection ----------------------------------- *)
 
 (* The nominal origin category each injected pattern is reported under. *)

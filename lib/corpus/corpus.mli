@@ -19,6 +19,15 @@ val all : app list Lazy.t
 
 val find : string -> app option
 
+val analyze_all :
+  ?config:Nadroid_core.Pipeline.config ->
+  ?jobs:int ->
+  app list ->
+  (app * Nadroid_core.Pipeline.t) list
+(** Run the full pipeline over a batch of apps on a domain pool of
+    [jobs] domains (default: all cores). Results are in input order and
+    byte-identical at any [jobs] value. *)
+
 val injected_category : Spec.pattern -> Nadroid_core.Classify.category
 (** The nominal origin category an injected pattern is reported under. *)
 

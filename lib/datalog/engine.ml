@@ -45,6 +45,18 @@ let fact t name args =
   ignore (Relation.add r (Array.of_list (List.map (Symbol.intern t.sym) args)));
   t.solved <- false
 
+(* Bulk EDB loading: one relation lookup for the whole batch. *)
+let facts t name tuples =
+  match tuples with
+  | [] -> ()
+  | first :: _ ->
+      let r = relation t name ~arity:(List.length first) in
+      List.iter
+        (fun args ->
+          ignore (Relation.add r (Array.of_list (List.map (Symbol.intern t.sym) args))))
+        tuples;
+      t.solved <- false
+
 let atom pred args = { pred; args }
 
 let add_rule t head body =

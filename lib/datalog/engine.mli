@@ -34,6 +34,10 @@ val relation : t -> string -> arity:int -> Relation.t
 val fact : t -> string -> string list -> unit
 (** [fact t pred args] adds a base (EDB) tuple, interning the names. *)
 
+val facts : t -> string -> string list list -> unit
+(** [facts t pred tuples] bulk-loads EDB tuples: the relation is looked
+    up once for the whole batch. Equivalent to [List.iter (fact t pred)]. *)
+
 val atom : string -> term list -> atom
 
 val add_rule : t -> atom -> literal list -> unit

@@ -1,0 +1,41 @@
+#!/bin/sh
+# CI gate: formatting, build, tests, and a smoke run of the
+# machine-readable timing bench. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# 1. Formatting. dune fmt covers dune files always and OCaml sources
+#    only when ocamlformat is installed; without it `dune build @fmt`
+#    errors out, so gate on the binary and at least keep dune files
+#    honest either way.
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt
+else
+  echo "ci: ocamlformat not found; checking dune files only" >&2
+  # @fmt stops at the first missing-ocamlformat error, but the dune-file
+  #  rules run first, so a dirty dune file still fails before that point.
+  out=$(dune build @fmt 2>&1) && : || true
+  if printf '%s' "$out" | grep -q '^diff '; then
+    printf '%s\n' "$out" >&2
+    echo "ci: dune files are not formatted (run: dune build @fmt --auto-promote)" >&2
+    exit 1
+  fi
+fi
+
+# 2. Build + full test suite (tier 1).
+dune build
+dune runtest
+
+# 3. Timing bench must emit parseable JSON with the expected totals.
+json=$(dune exec --no-print-directory bench/main.exe -- timing --json --jobs 1)
+for key in '"jobs"' '"apps"' '"totals"' '"elapsed"' '"pruned"'; do
+  case $json in
+  *${key}*) ;;
+  *)
+    echo "ci: timing --json output is missing ${key}" >&2
+    exit 1
+    ;;
+  esac
+done
+echo "ci: ok"

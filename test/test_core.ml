@@ -190,6 +190,116 @@ let detection_tests =
              cache.op(); } method void onStop() { cache = null; } }"
         in
         Alcotest.(check bool) "warning exists" true (List.length t.Pipeline.potential >= 1));
+    Alcotest.test_case "static and instance accesses never alias" `Quick (fun () ->
+        (* regression: may_alias used to return true when *either* side
+           was static, pairing a static access with an instance access of
+           a same-keyed field even though they name different storage.
+           The frontend cannot produce this mix for one field, so build
+           the accesses directly. *)
+        let t = analyze "class A extends Activity { method void onCreate() { } }" in
+        let esc = t.Pipeline.esc in
+        let fr name =
+          {
+            Nadroid_lang.Sema.fr_class = "A";
+            fr_name = name;
+            fr_ty = Nadroid_lang.Ast.Tclass "Data";
+            fr_static = false;
+          }
+        in
+        let site =
+          let v = { Nadroid_ir.Instr.v_id = 0; v_name = "x" } in
+          {
+            Detect.s_inst = 0;
+            s_mref = { Nadroid_ir.Instr.mr_class = "A"; mr_name = "m" };
+            s_instr =
+              {
+                Nadroid_ir.Instr.i = Nadroid_ir.Instr.Getstatic (v, fr "f");
+                loc = Nadroid_lang.Loc.dummy;
+                id = 0;
+              };
+          }
+        in
+        let access ~thread ~static ~objs field =
+          { Detect.a_thread = thread; a_site = site; a_field = field; a_objs = objs; a_static = static }
+        in
+        let module IS = Nadroid_analysis.Pta.IntSet in
+        let static_use = access ~thread:1 ~static:true ~objs:IS.empty (fr "f") in
+        let instance_free = access ~thread:2 ~static:false ~objs:(IS.of_list [ 0; 1 ]) (fr "f") in
+        let static_free = access ~thread:2 ~static:true ~objs:IS.empty (fr "f") in
+        Alcotest.(check bool) "static vs instance" false
+          (Detect.may_alias esc static_use instance_free);
+        Alcotest.(check bool) "instance vs static" false
+          (Detect.may_alias esc instance_free static_use);
+        Alcotest.(check bool) "static vs static" true
+          (Detect.may_alias esc static_use static_free);
+        Alcotest.(check bool) "distinct keys" false
+          (Detect.may_alias esc static_use (access ~thread:2 ~static:true ~objs:IS.empty (fr "g"))));
+  ]
+
+let parallel_tests =
+  [
+    Alcotest.test_case "map preserves input order at any jobs" `Quick (fun () ->
+        let xs = List.init 100 (fun i -> i) in
+        let expect = List.map (fun x -> x * x) xs in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "jobs=%d" jobs)
+              expect
+              (Parallel.map ~jobs (fun x -> x * x) xs))
+          [ 1; 2; 4; 7 ]);
+    Alcotest.test_case "empty and singleton inputs" `Quick (fun () ->
+        Alcotest.(check (list int)) "empty" [] (Parallel.map ~jobs:4 (fun x -> x) []);
+        Alcotest.(check (list int)) "singleton" [ 3 ] (Parallel.map ~jobs:4 (fun x -> x + 1) [ 2 ]));
+    Alcotest.test_case "task exceptions propagate to the caller" `Quick (fun () ->
+        Alcotest.check_raises "re-raised" Exit (fun () ->
+            ignore (Parallel.map ~jobs:4 (fun x -> if x = 13 then raise Exit else x) (List.init 40 Fun.id))));
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "phase metrics sum to measured wall time" `Quick (fun () ->
+        let app = Option.get (Nadroid_corpus.Corpus.find "Mms") in
+        let t = Pipeline.analyze ~file:"Mms" app.Nadroid_corpus.Corpus.source in
+        let m = t.Pipeline.metrics in
+        let sum = Pipeline.phase_sum m in
+        Alcotest.(check bool) "phases fit inside wall" true (sum <= m.Pipeline.m_wall +. 0.005);
+        (* the only unattributed work is record plumbing between clock
+           reads: the gap must be negligible (create_ctx used to hide
+           here) *)
+        Alcotest.(check bool) "gap below 50ms" true (m.Pipeline.m_wall -. sum < 0.05));
+    Alcotest.test_case "create_ctx is attributed to the filtering phase" `Quick (fun () ->
+        let app = Option.get (Nadroid_corpus.Corpus.find "Aard") in
+        let t = Pipeline.analyze ~file:"Aard" app.Nadroid_corpus.Corpus.source in
+        let m = t.Pipeline.metrics in
+        let tt = t.Pipeline.timings in
+        Alcotest.(check bool) "filtering = ctx + filters" true
+          (abs_float (tt.Pipeline.t_filtering -. (m.Pipeline.m_ctx +. m.Pipeline.m_filter)) < 1e-9);
+        Alcotest.(check bool) "three-phase split partitions the phase sum" true
+          (abs_float
+             (tt.Pipeline.t_modeling +. tt.Pipeline.t_detection +. tt.Pipeline.t_filtering
+             -. Pipeline.phase_sum m)
+          < 1e-9));
+    Alcotest.test_case "apply_counted prunes exactly like apply" `Quick (fun () ->
+        let app = Option.get (Nadroid_corpus.Corpus.find "Aard") in
+        let t = Pipeline.analyze ~file:"Aard" app.Nadroid_corpus.Corpus.source in
+        let norm ws =
+          List.map (fun (w : Detect.warning) -> (Detect.warning_key w, w.Detect.w_pairs)) ws
+        in
+        let counted, counts = Filters.apply_counted t.Pipeline.ctx Filters.sound t.Pipeline.potential in
+        Alcotest.(check bool) "same survivors" true
+          (norm counted = norm (Filters.apply t.Pipeline.ctx Filters.sound t.Pipeline.potential));
+        Alcotest.(check int) "one count per filter" (List.length Filters.sound) (List.length counts);
+        Alcotest.(check bool) "something was pruned and credited" true
+          (List.exists (fun (_, c) -> c > 0) counts));
+    Alcotest.test_case "metrics JSON is emitted with every phase field" `Quick (fun () ->
+        let t = analyze "class A extends Activity { method void onCreate() { } }" in
+        let json = Report.metrics_to_json ~name:"tiny" t.Pipeline.metrics in
+        List.iter
+          (fun k ->
+            Alcotest.(check bool) (k ^ " present") true
+              (Astring.String.is_infix ~affix:("\"" ^ k ^ "\":") json))
+          [ "name"; "pta"; "aux"; "threadify"; "detect"; "create_ctx"; "filter"; "phase_sum"; "wall"; "pruned" ]);
   ]
 
 let classify_tests =
@@ -271,4 +381,6 @@ let suite =
     ("detect", detection_tests);
     ("classify", classify_tests);
     ("pipeline", pipeline_tests);
+    ("parallel", parallel_tests);
+    ("metrics", metrics_tests);
   ]

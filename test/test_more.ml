@@ -193,6 +193,11 @@ let misc_tests =
           (Nadroid_core.Threadify.threads t.Pipeline.threads));
     Alcotest.test_case "count_loc ignores blank lines" `Quick (fun () ->
         Alcotest.(check int) "three" 3 (Pipeline.count_loc "a\n\n  \nb\nc\n"));
+    Alcotest.test_case "count_loc ignores comment-only lines" `Quick (fun () ->
+        (* a line holding nothing but a // comment is not code; trailing
+           comments on code lines still count *)
+        Alcotest.(check int) "two" 2
+          (Pipeline.count_loc "// header\na\n  // indented comment\nb // trailing\n\n"));
     Alcotest.test_case "guided runs are deterministic per seed" `Quick (fun () ->
         let app = Option.get (Nadroid_corpus.Corpus.find "QKSMS") in
         let t = Pipeline.analyze ~file:"q" app.Nadroid_corpus.Corpus.source in

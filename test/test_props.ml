@@ -88,10 +88,77 @@ let generated_sources_reanalyze_deterministically =
       in
       run () = run ())
 
+module Detect = Nadroid_core.Detect
+module Corpus = Nadroid_corpus.Corpus
+
+(* The field-indexed join must be a pure optimization: same warnings,
+   same pairs, as the naive cross-product join it replaced. Compared as
+   sorted sets because the Datalog fact-insertion order (and hence query
+   order) differs between the two joins. *)
+let indexed_join_equals_naive =
+  QCheck2.Test.make ~name:"field-indexed join equals naive cross-product join" ~count:20
+    QCheck2.Gen.(list_size (int_range 1 6) (oneofl composable))
+    (fun patterns ->
+      let spec =
+        {
+          Spec.app_name = "join";
+          activities = [ { Spec.act_name = "MainActivity"; patterns } ];
+          services = 0;
+          padding = 0;
+        }
+      in
+      let src, _ = Gen.generate spec in
+      let t = Pipeline.analyze ~file:"join" src in
+      let norm ws =
+        List.sort compare
+          (List.map
+             (fun (w : Detect.warning) ->
+               (Detect.warning_key w, List.sort compare w.Detect.w_pairs))
+             ws)
+      in
+      norm (Detect.run t.Pipeline.threads t.Pipeline.esc)
+      = norm (Detect.run_reference t.Pipeline.threads t.Pipeline.esc))
+
+(* Parallel corpus analysis must be invisible: app-for-app, the rendered
+   report at jobs=4 is byte-identical to jobs=1 (each app's analysis is
+   internally sequential; the pool only changes which domain runs it). *)
+let analyze_all_is_jobs_invariant =
+  QCheck2.Test.make ~name:"analyze_all at jobs=4 equals jobs=1 app-for-app" ~count:5
+    QCheck2.Gen.(
+      list_size (int_range 2 4) (list_size (int_range 1 3) (oneofl composable)))
+    (fun patternss ->
+      let apps =
+        List.mapi
+          (fun i patterns ->
+            let spec =
+              {
+                Spec.app_name = "papp" ^ string_of_int i;
+                activities = [ { Spec.act_name = "MainActivity"; patterns } ];
+                services = 0;
+                padding = 0;
+              }
+            in
+            let src, seeded = Gen.generate spec in
+            { Corpus.name = spec.Spec.app_name; group = Corpus.Test; source = src; seeded })
+          patternss
+      in
+      let norm results =
+        List.map
+          (fun ((a : Corpus.app), (t : Pipeline.t)) ->
+            ( a.Corpus.name,
+              List.map Detect.warning_key t.Pipeline.after_unsound,
+              Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound ))
+          results
+      in
+      norm (Corpus.analyze_all ~jobs:1 apps) = norm (Corpus.analyze_all ~jobs:4 apps))
+
 let suite =
   [
     ( "composition",
       List.map QCheck_alcotest.to_alcotest
         [ composition; random_walks_do_not_raise; generated_sources_reanalyze_deterministically ]
     );
+    ( "join-and-parallel",
+      List.map QCheck_alcotest.to_alcotest
+        [ indexed_join_equals_naive; analyze_all_is_jobs_invariant ] );
   ]
