@@ -41,10 +41,47 @@ let evaluate ?config (app : Corpus.app) : evaluated =
 let harmful_count e = List.length (List.filter snd e.verdicts)
 
 (* Evaluate a batch of apps (analysis + schedule validation) on a domain
-   pool; output order is input order, independent of [jobs]. *)
-let evaluate_all ?config ?jobs (apps : Corpus.app list) : evaluated list =
+   pool; output order is input order, independent of [jobs]. Failures
+   are isolated per app (see {!Corpus.analyze_all}). *)
+let evaluate_all ?config ?jobs (apps : Corpus.app list) :
+    (Corpus.app * (evaluated, Nadroid_core.Fault.t) result) list =
   ignore (Lazy.force Nadroid_lang.Builtins.program);
-  Nadroid_core.Parallel.map ?jobs (evaluate ?config) apps
+  List.map2
+    (fun app r -> (app, Result.map_error Nadroid_core.Fault.of_exn r))
+    apps
+    (Nadroid_core.Parallel.map_result ?jobs (evaluate ?config) apps)
+
+(* -- batch failure handling ------------------------------------------- *)
+
+(* Worst fault exit code seen by [keep_ok] so far; the driver exits with
+   it after printing every (partial) table, so a poisoned app costs its
+   own row, not the batch. *)
+let worst_exit = ref 0
+
+(* Split a batch into its successful payloads, printing a failure
+   summary for the rest on stderr (stdout may be machine-readable). *)
+let keep_ok ~what ~name (results : ('a * ('b, Nadroid_core.Fault.t) result) list) :
+    ('a * 'b) list =
+  let faults =
+    List.filter_map
+      (fun (x, r) -> match r with Error f -> Some (x, f) | Ok _ -> None)
+      results
+  in
+  (match faults with
+  | [] -> ()
+  | _ :: _ ->
+      Printf.eprintf "%s: %d/%d item(s) failed:\n" what (List.length faults)
+        (List.length results);
+      List.iter
+        (fun (x, f) ->
+          Printf.eprintf "  %-14s [%s] %s\n" (name x)
+            (Nadroid_core.Fault.class_to_string f)
+            (Nadroid_core.Fault.to_string f))
+        faults;
+      worst_exit := max !worst_exit (Nadroid_core.Fault.worst_exit (List.map snd faults)));
+  List.filter_map (fun (x, r) -> match r with Ok v -> Some (x, v) | Error _ -> None) results
+
+let app_name (a : Corpus.app) = a.Corpus.name
 
 (* Map a warning back to the pattern that seeded it: generated fields are
    declared on the activity named in the seed record. *)

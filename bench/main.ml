@@ -18,6 +18,7 @@ module Detect = Nadroid_core.Detect
 module Filters = Nadroid_core.Filters
 module Classify = Nadroid_core.Classify
 module Threadify = Nadroid_core.Threadify
+module Fault = Nadroid_core.Fault
 
 (* ---------------------------------------------------------------- *)
 (* Table 1                                                            *)
@@ -73,7 +74,9 @@ let table1 ~jobs () =
           fp "unattributed";
         ]
         :: !rows)
-    (Eval.evaluate_all ~jobs (Lazy.force Corpus.all));
+    (List.map snd
+       (Eval.keep_ok ~what:"table1" ~name:Eval.app_name
+          (Eval.evaluate_all ~jobs (Lazy.force Corpus.all))));
   Eval.print_table
     ~header:
       [
@@ -99,7 +102,10 @@ let table1 ~jobs () =
    apps (the paper excludes the train group from Figure 5). *)
 let fig5 ~jobs () =
   Eval.section "Figure 5(a): sound filters applied individually (20 test apps)";
-  let evaluated = Corpus.analyze_all ~jobs (Lazy.force Corpus.test) in
+  let evaluated =
+    Eval.keep_ok ~what:"fig5" ~name:Eval.app_name
+      (Corpus.analyze_all ~jobs (Lazy.force Corpus.test))
+  in
   let count_pruned names stage =
     List.fold_left
       (fun (pruned, total) ((_app : Corpus.app), (t : Pipeline.t)) ->
@@ -141,14 +147,17 @@ let table2 ~jobs () =
   in
   let rows = ref [] in
   let totals = Array.make 8 0 in
+  let injected = Lazy.force Corpus.injected in
+  let inj_name (inj : Corpus.injected_app) = inj.Corpus.inj_base.Corpus.name ^ "+inj" in
   let analyzed =
-    Nadroid_core.Parallel.map ~jobs
-      (fun (inj : Corpus.injected_app) ->
-        ( inj,
-          Pipeline.analyze
-            ~file:(inj.Corpus.inj_base.Corpus.name ^ "+inj")
-            inj.Corpus.inj_source ))
-      (Lazy.force Corpus.injected)
+    Eval.keep_ok ~what:"table2" ~name:inj_name
+      (List.map2
+         (fun inj r -> (inj, Result.map_error Fault.of_exn r))
+         injected
+         (Nadroid_core.Parallel.map_result ~jobs
+            (fun (inj : Corpus.injected_app) ->
+              Pipeline.analyze ~file:(inj_name inj) inj.Corpus.inj_source)
+            injected))
   in
   List.iter
     (fun ((inj : Corpus.injected_app), (t : Pipeline.t)) ->
@@ -305,7 +314,10 @@ let timing ~jobs ~json () =
   (* [elapsed] is the batch wall clock; under [jobs] > 1 the per-app wall
      times overlap, so their sum exceeds it. *)
   let t0 = Unix.gettimeofday () in
-  let analyzed = Corpus.analyze_all ~jobs (Lazy.force Corpus.all) in
+  let analyzed =
+    Eval.keep_ok ~what:"timing" ~name:Eval.app_name
+      (Corpus.analyze_all ~jobs (Lazy.force Corpus.all))
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   if json then timing_json ~jobs ~elapsed analyzed
   else begin
@@ -574,7 +586,7 @@ let () =
       ("extension", extension);
     ]
   in
-  match List.assoc_opt !which all with
+  (match List.assoc_opt !which all with
   | Some f -> f ()
   | None ->
       if String.equal !which "all" then List.iter (fun (_, f) -> f ()) all
@@ -582,4 +594,7 @@ let () =
         Printf.eprintf "unknown experiment %s (expected: all %s)\n" !which
           (String.concat " " (List.map fst all));
         exit 2
-      end
+      end);
+  (* partial-failure batches printed their tables; still exit with the
+     worst fault class so CI notices *)
+  if !Eval.worst_exit > 0 then exit !Eval.worst_exit

@@ -6,11 +6,16 @@
      nadroid ir       app.mand      dump the lowered IR
      nadroid deva     app.mand      run the DEvA baseline
      nadroid run      app.mand      one random simulator run
-     nadroid corpus [NAME]          list corpus apps / dump one source *)
+     nadroid fuzz                   chaos-fuzz the runtime over corpus mutants
+     nadroid corpus [NAME]          list corpus apps / dump one source
+
+   Exit codes follow the fault taxonomy: 0 ok, 1 frontend diagnostic,
+   3 budget exhausted, 4 internal error (2/124/125 are cmdliner's). *)
 
 open Cmdliner
 module Pipeline = Nadroid_core.Pipeline
 module Filters = Nadroid_core.Filters
+module Fault = Nadroid_core.Fault
 
 let read_file path =
   let ic = open_in_bin path in
@@ -18,12 +23,12 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let with_diag f =
-  match Nadroid_lang.Diag.protect f with
+let with_fault f =
+  match Fault.wrap f with
   | Ok x -> x
-  | Error d ->
-      Fmt.epr "%a@." Nadroid_lang.Diag.pp d;
-      exit 1
+  | Error fault ->
+      Fmt.epr "%a@." Fault.pp fault;
+      exit (Fault.exit_code fault)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniAndroid source file")
@@ -34,16 +39,45 @@ let k_arg =
 let sound_only_arg =
   Arg.(value & flag & info [ "sound-only" ] ~doc:"apply only the sound filters (MHB, IG, IA)")
 
-let analyze_pipeline path k sound_only =
+let budget_pta_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-pta" ] ~docv:"STEPS"
+        ~doc:
+          "points-to step budget; on exhaustion the analysis retries with a coarser context \
+           depth (sound: may over-report) before giving up")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "wall-clock deadline; filters that would start past it are skipped (sound: may \
+           over-report)")
+
+let budget_explorer_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-explorer" ] ~docv:"N"
+        ~doc:"cap on dynamic-validation schedules (can only lose witnesses)")
+
+let budgets pta_steps deadline explorer_schedules =
+  { Pipeline.pta_steps; deadline; explorer_schedules }
+
+let analyze_pipeline ?(budgets = Pipeline.no_budgets) path k sound_only =
   let src = read_file path in
   let config =
     {
       Pipeline.default_config with
       Pipeline.k;
       unsound = (if sound_only then [] else Filters.unsound);
+      budgets;
     }
   in
-  with_diag (fun () -> Pipeline.analyze ~config ~file:path src)
+  with_fault (fun () -> Pipeline.analyze ~config ~file:path src)
 
 let analyze_cmd =
   let files_arg =
@@ -63,43 +97,62 @@ let analyze_cmd =
       value & flag
       & info [ "timings" ] ~doc:"print the per-phase timing breakdown and filter prune counts")
   in
-  let run files k sound_only jobs timings =
+  let run files k sound_only jobs timings budget_pta deadline budget_explorer =
     let config =
       {
         Pipeline.default_config with
         Pipeline.k;
         unsound = (if sound_only then [] else Filters.unsound);
+        budgets = budgets budget_pta deadline budget_explorer;
       }
     in
     (* force the shared builtin-program lazy before any domain spawns *)
     ignore (Lazy.force Nadroid_lang.Builtins.program);
+    (* crash-isolated: a bad file yields its own fault report while the
+       remaining files are still analyzed; exit with the worst class *)
     let results =
-      with_diag (fun () ->
-          Nadroid_core.Parallel.map ~jobs
-            (fun path -> (path, Pipeline.analyze ~config ~file:path (read_file path)))
-            files)
+      List.map2
+        (fun path r -> (path, Result.map_error Fault.of_exn r))
+        files
+        (Nadroid_core.Parallel.map_result ~jobs
+           (fun path -> Pipeline.analyze ~config ~file:path (read_file path))
+           files)
     in
     List.iter
-      (fun (path, (t : Pipeline.t)) ->
+      (fun (path, r) ->
         if List.length files > 1 then Fmt.pr "== %s ==@." path;
-        Fmt.pr "potential UAFs: %d; after sound filters: %d; after unsound filters: %d@.@."
-          (List.length t.Pipeline.potential)
-          (List.length t.Pipeline.after_sound)
-          (List.length t.Pipeline.after_unsound);
-        print_string (Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound);
-        if timings then Fmt.pr "%a" Nadroid_core.Report.pp_metrics t.Pipeline.metrics)
-      results
+        match r with
+        | Ok (t : Pipeline.t) ->
+            Fmt.pr "potential UAFs: %d; after sound filters: %d; after unsound filters: %d@.@."
+              (List.length t.Pipeline.potential)
+              (List.length t.Pipeline.after_sound)
+              (List.length t.Pipeline.after_unsound);
+            print_string
+              (Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound);
+            if timings then Fmt.pr "%a" Nadroid_core.Report.pp_metrics t.Pipeline.metrics
+        | Error fault -> Fmt.epr "%s: %a@." path Fault.pp fault)
+      results;
+    let faults = List.filter_map (fun (_, r) -> Result.fold ~ok:(fun _ -> None) ~error:Option.some r) results in
+    (match faults with
+    | [] -> ()
+    | _ :: _ ->
+        Fmt.epr "%d of %d file(s) failed@." (List.length faults) (List.length files);
+        exit (Fault.worst_exit faults))
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"statically detect UAF ordering violations")
-    Term.(const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg)
+    Term.(
+      const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg $ budget_pta_arg
+      $ deadline_arg $ budget_explorer_arg)
 
 let validate_cmd =
   let runs_arg =
     Arg.(value & opt int 150 & info [ "runs" ] ~doc:"random schedules per warning")
   in
-  let run path k runs =
-    let t = analyze_pipeline path k false in
+  let run path k runs budget_pta deadline budget_explorer =
+    let t = analyze_pipeline ~budgets:(budgets budget_pta deadline budget_explorer) path k false in
+    (* the explorer budget caps schedules tried per warning *)
+    let runs = match budget_explorer with Some b -> min runs b | None -> runs in
     List.iter
       (fun w ->
         let v = Nadroid_dynamic.Explorer.validate t.Pipeline.prog w ~runs () in
@@ -117,7 +170,9 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"dynamically validate surviving warnings")
-    Term.(const run $ file_arg $ k_arg $ runs_arg)
+    Term.(
+      const run $ file_arg $ k_arg $ runs_arg $ budget_pta_arg $ deadline_arg
+      $ budget_explorer_arg)
 
 let forest_cmd =
   let run path k =
@@ -140,7 +195,7 @@ let dot_cmd =
 let ir_cmd =
   let run path =
     let src = read_file path in
-    let prog = with_diag (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
+    let prog = with_fault (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
     List.iter (fun b -> Fmt.pr "%a@.@." Nadroid_ir.Cfg.pp b) (Nadroid_ir.Prog.user_bodies prog)
   in
   Cmd.v (Cmd.info "ir" ~doc:"dump the lowered IR of user methods") Term.(const run $ file_arg)
@@ -148,7 +203,7 @@ let ir_cmd =
 let deva_cmd =
   let run path =
     let src = read_file path in
-    let prog = with_diag (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
+    let prog = with_fault (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
     List.iter (fun w -> Fmt.pr "%a@." Nadroid_deva.Deva.pp w) (Nadroid_deva.Deva.run prog)
   in
   Cmd.v
@@ -160,7 +215,7 @@ let run_cmd =
   let steps_arg = Arg.(value & opt int 100 & info [ "steps" ] ~doc:"max schedule steps") in
   let run path seed steps =
     let src = read_file path in
-    let prog = with_diag (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
+    let prog = with_fault (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
     let o = Nadroid_dynamic.Explorer.random_run prog ~seed ~max_steps:steps in
     Fmt.pr "schedule (%d steps): %a@." o.Nadroid_dynamic.Explorer.o_steps
       Fmt.(list ~sep:(any " ; ") Nadroid_dynamic.World.pp_action)
@@ -171,6 +226,12 @@ let run_cmd =
           npe.Nadroid_dynamic.Interp.npe_mref Nadroid_lang.Loc.pp
           npe.Nadroid_dynamic.Interp.npe_loc)
       o.Nadroid_dynamic.Explorer.o_npes;
+    List.iter
+      (fun (s : Nadroid_dynamic.Interp.stuck) ->
+        Fmt.pr "Stuck (%s) at %a (%a)@." s.Nadroid_dynamic.Interp.st_reason
+          Nadroid_ir.Instr.pp_mref s.Nadroid_dynamic.Interp.st_mref Nadroid_lang.Loc.pp
+          s.Nadroid_dynamic.Interp.st_loc)
+      o.Nadroid_dynamic.Explorer.o_stucks;
     if o.Nadroid_dynamic.Explorer.o_crashed then Fmt.pr "(app crashed)@."
   in
   Cmd.v
@@ -186,7 +247,7 @@ let replay_cmd =
   in
   let run path sched =
     let src = read_file path in
-    let prog = with_diag (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
+    let prog = with_fault (fun () -> Nadroid_ir.Prog.of_source ~file:path src) in
     let script =
       String.split_on_char '\n' (read_file sched)
       |> List.concat_map (String.split_on_char ';')
@@ -205,6 +266,38 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay" ~doc:"replay a recorded witness schedule")
     Term.(const run $ file_arg $ sched_arg)
+
+let fuzz_cmd =
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"mutation seed") in
+  let mutants_arg =
+    Arg.(value & opt int 200 & info [ "mutants" ] ~docv:"N" ~doc:"number of mutants to analyze")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"domains to fuzz on (default: all cores)")
+  in
+  let fuzz_deadline_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "deadline" ] ~docv:"SECS" ~doc:"per-mutant wall-clock deadline (default 10)")
+  in
+  let run seed mutants jobs deadline =
+    let summary =
+      Nadroid_corpus.Chaos.run ?jobs ~deadline ~seed ~mutants
+        (Lazy.force Nadroid_corpus.Corpus.all)
+    in
+    Fmt.pr "%a@?" Nadroid_corpus.Chaos.pp_summary summary;
+    if summary.Nadroid_corpus.Chaos.s_uncaught <> [] then exit 4
+    else if summary.Nadroid_corpus.Chaos.s_overruns <> [] then exit 3
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "chaos-fuzz the analysis runtime: analyze seeded mutants of every corpus source and \
+          fail on any uncaught exception or deadline overrun")
+    Term.(const run $ seed_arg $ mutants_arg $ jobs_arg $ fuzz_deadline_arg)
 
 let corpus_cmd =
   let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
@@ -243,5 +336,6 @@ let () =
             deva_cmd;
             run_cmd;
             replay_cmd;
+            fuzz_cmd;
             corpus_cmd;
           ]))

@@ -91,9 +91,14 @@ type t = {
   synth_sites : (string, Instr.alloc_site) Hashtbl.t;
   mutable changed : bool;
   mutable passes : int;
+  (* resource budget: instruction transfers executed / allowed *)
+  mutable steps : int;
+  budget : int option;
 }
 
-let create ?(k = 2) (prog : Prog.t) : t =
+exception Out_of_budget
+
+let create ?(k = 2) ?budget (prog : Prog.t) : t =
   {
     prog;
     k;
@@ -110,6 +115,8 @@ let create ?(k = 2) (prog : Prog.t) : t =
     synth_sites = Hashtbl.create 32;
     changed = false;
     passes = 0;
+    steps = 0;
+    budget;
   }
 
 let obj t id = t.objs.(id)
@@ -432,6 +439,15 @@ let seed_roots t =
 
 (* -- fixpoint -------------------------------------------------------------- *)
 
+(* One budget tick per instruction transfer. The count is deterministic
+   for a given program and k, which keeps budget-exhaustion behaviour
+   reproducible in tests (unlike a wall-clock deadline). *)
+let tick t =
+  t.steps <- t.steps + 1;
+  match t.budget with
+  | Some b when t.steps > b -> raise Out_of_budget
+  | Some _ | None -> ()
+
 let solve t =
   seed_roots t;
   t.changed <- true;
@@ -446,7 +462,11 @@ let solve t =
       match Prog.body t.prog inst.i_mref with
       | None -> ()
       | Some body ->
-          Cfg.iter_instrs (fun ins -> transfer_instr t ~caller:i ins) body;
+          Cfg.iter_instrs
+            (fun ins ->
+              tick t;
+              transfer_instr t ~caller:i ins)
+            body;
           transfer_returns t ~caller:i body
     done
   done
@@ -457,6 +477,10 @@ let run ?k prog =
   let t = create ?k prog in
   solve t;
   t
+
+let run_budgeted ~steps ?k prog =
+  let t = create ?k ~budget:steps prog in
+  match solve t with () -> Some t | exception Out_of_budget -> None
 
 let pts_var t ~inst ~(v : Instr.var) : IntSet.t = get_pts t (Nvar (inst, v.Instr.v_id))
 

@@ -71,11 +71,18 @@ type t = {
   synth_sites : (string, Instr.alloc_site) Hashtbl.t;
   mutable changed : bool;
   mutable passes : int;
+  mutable steps : int;  (** instruction transfers executed so far *)
+  budget : int option;  (** step budget; [None] = unbounded *)
 }
 (** Solver state, exposed read-only by convention after {!run}. *)
 
 val run : ?k:int -> Prog.t -> t
 (** Solve to fixpoint. [k] defaults to 2. *)
+
+val run_budgeted : steps:int -> ?k:int -> Prog.t -> t option
+(** Like {!run} but bounded: one step is one instruction transfer, so the
+    bound is deterministic for a given program and [k]. Returns [None]
+    when the budget runs out before the fixpoint is reached. *)
 
 val obj : t -> int -> obj
 

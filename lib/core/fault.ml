@@ -1,0 +1,69 @@
+(* Structured fault taxonomy for the analysis runtime.
+
+   Every way an analysis of one input can fail is folded into one of
+   three classes, so batch drivers (corpus analysis, bench tables, the
+   chaos harness) can survive a bad input, report it, and keep going:
+
+   - [Frontend]: the input itself is bad — a lexing/parsing/typing
+     diagnostic. Expected on malformed sources; never a bug in nAdroid.
+   - [Budget]: a per-phase resource budget was exhausted and no sound
+     degradation remained (e.g. the points-to solver ran out of steps
+     even at k=0). The result is absent but the process is healthy.
+   - [Internal]: an invariant violation — any exception that is neither
+     a diagnostic nor a budget signal. Always a bug worth a report.
+
+   Each class maps to a distinct CLI exit code so scripts can triage
+   batch outcomes without parsing output. *)
+
+open Nadroid_lang
+
+type phase = P_pta | P_filters | P_explorer
+
+type t =
+  | Frontend of Diag.t
+  | Budget of phase
+  | Internal of string
+
+exception Fault of t
+
+let phase_to_string = function
+  | P_pta -> "pta"
+  | P_filters -> "filters"
+  | P_explorer -> "explorer"
+
+let class_to_string = function
+  | Frontend _ -> "frontend"
+  | Budget _ -> "budget"
+  | Internal _ -> "internal"
+
+(* Exit codes: 0 = clean, 1 = frontend diagnostic, 3 = budget exhausted,
+   4 = internal error. 2 is cmdliner's usage-error code and 124/125 are
+   reserved by it as well; the ordering is by severity so a batch's
+   worst fault is [max] over the per-item codes. *)
+let exit_code = function Frontend _ -> 1 | Budget _ -> 3 | Internal _ -> 4
+
+let worst_exit faults = List.fold_left (fun acc f -> max acc (exit_code f)) 0 faults
+
+let pp ppf = function
+  | Frontend d -> Diag.pp ppf d
+  | Budget p -> Fmt.pf ppf "budget exhausted in %s phase" (phase_to_string p)
+  | Internal msg -> Fmt.pf ppf "internal error: %s" msg
+
+let to_string f = Fmt.str "%a" pp f
+
+let detail = function
+  | Frontend d -> Diag.to_string d
+  | Budget p -> phase_to_string p
+  | Internal msg -> msg
+
+(* Fold an escaped exception into the taxonomy. [Out_of_memory] and
+   [Stack_overflow] are kept (they are resource faults of the runtime,
+   not invariants), everything else unknown is an internal bug. *)
+let of_exn = function
+  | Diag.Error d -> Frontend d
+  | Fault f -> f
+  | Stack_overflow -> Internal "stack overflow"
+  | Out_of_memory -> Internal "out of memory"
+  | e -> Internal (Printexc.to_string e)
+
+let wrap f = try Ok (f ()) with e -> Error (of_exn e)

@@ -1,0 +1,45 @@
+(** Structured fault taxonomy for the analysis runtime.
+
+    Every failure of one analysis run folds into one of three classes so
+    batch drivers can survive a bad input, report it, and keep going:
+    [Frontend] (the input is bad — a diagnostic), [Budget] (a per-phase
+    resource budget was exhausted with no sound degradation left), and
+    [Internal] (an invariant violation — always a bug). Each class maps
+    to a distinct CLI exit code. *)
+
+open Nadroid_lang
+
+type phase = P_pta | P_filters | P_explorer
+
+type t =
+  | Frontend of Diag.t  (** lexing / parsing / typing diagnostic *)
+  | Budget of phase  (** budget exhausted, no degradation left *)
+  | Internal of string  (** invariant violation — a bug *)
+
+exception Fault of t
+
+val phase_to_string : phase -> string
+
+val class_to_string : t -> string
+(** ["frontend"], ["budget"] or ["internal"]. *)
+
+val exit_code : t -> int
+(** 1 = frontend, 3 = budget, 4 = internal (0 means no fault; 2 and
+    124/125 are reserved by cmdliner). Ordered by severity. *)
+
+val worst_exit : t list -> int
+(** [max] of {!exit_code} over the batch; 0 when empty. *)
+
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+val detail : t -> string
+(** The class-specific payload (diagnostic text, phase name, message). *)
+
+val of_exn : exn -> t
+(** Fold an escaped exception into the taxonomy: {!Diag.Error} becomes
+    [Frontend], {!Fault} unwraps, anything else is [Internal]. *)
+
+val wrap : (unit -> 'a) -> ('a, t) result
+(** Run a computation, catching {e every} exception into a fault. *)

@@ -412,5 +412,48 @@ let apply_counted ctx names (ws : Detect.warning list) :
   in
   (survivors, List.map (fun (n, c) -> (n, !c)) counts)
 
+(* Deadline-aware variant: filters run one name at a time against the
+   survivors of the previous ones, and once the absolute [deadline]
+   passes the remaining names are skipped entirely. Skipping a filter is
+   sound in the more-warnings direction — it can only leave extra
+   warnings alive — so a starved filter phase degrades instead of
+   hanging. Counts credit each filter only with the pairs it pruned
+   itself (earlier filters already removed theirs), unlike
+   {!apply_counted}'s overlapping credit. *)
+let apply_counted_deadline ctx ~deadline names (ws : Detect.warning list) :
+    Detect.warning list * (name * int) list * name list =
+  let counts = ref [] and skipped = ref [] in
+  let survivors =
+    List.fold_left
+      (fun ws n ->
+        if Unix.gettimeofday () > deadline then begin
+          skipped := n :: !skipped;
+          ws
+        end
+        else begin
+          let c = ref 0 in
+          let ws =
+            List.filter_map
+              (fun (w : Detect.warning) ->
+                let pairs =
+                  List.filter
+                    (fun p ->
+                      let pruned = prunes ctx n w p in
+                      if pruned then incr c;
+                      not pruned)
+                    w.Detect.w_pairs
+                in
+                match pairs with
+                | [] -> None
+                | _ :: _ -> Some { w with Detect.w_pairs = pairs })
+              ws
+          in
+          counts := (n, !c) :: !counts;
+          ws
+        end)
+      ws names
+  in
+  (survivors, List.rev !counts, List.rev !skipped)
+
 (* Number of warnings fully pruned when only [names] are enabled. *)
 let pruned_count ctx names ws = List.length ws - List.length (apply ctx names ws)

@@ -49,6 +49,19 @@ val apply_counted :
     combinations each filter pruned. Every filter is evaluated on every
     pair, so overlapping filters are each credited. *)
 
+val apply_counted_deadline :
+  ctx ->
+  deadline:float ->
+  name list ->
+  Detect.warning list ->
+  Detect.warning list * (name * int) list * name list
+(** Like {!apply_counted} but bounded by an absolute wall-clock
+    [deadline] (as from [Unix.gettimeofday]): filters run one name at a
+    time and names whose turn comes after the deadline are skipped and
+    returned in the third component. Skipping is sound in the
+    more-warnings direction. Counts are sequential (no overlapping
+    credit). *)
+
 val pruned_count : ctx -> name list -> Detect.warning list -> int
 (** Warnings fully pruned when only [names] are enabled — the Figure 5
     per-filter measurements. *)

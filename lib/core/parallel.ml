@@ -3,52 +3,57 @@
    Work items are claimed from a mutex-protected counter and results are
    written back into a slot array indexed by input position, so the
    output order (and content) is independent of the number of domains
-   and of scheduling. The first exception raised by any task aborts the
-   remaining work and is re-raised in the caller once every domain has
-   joined. *)
+   and of scheduling.
+
+   [map_result] is the crash-isolated primitive: a task's exception is
+   captured in its own slot and the remaining items still run, so one
+   poisoned input cannot lose a batch. [map] keeps the historical
+   fail-fast contract on top of it. *)
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 type 'b slot = Pending | Done of 'b
 
-let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+let map_result ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn) result list =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let items = Array.of_list xs in
   let n = Array.length items in
   if n = 0 then []
-  else if jobs = 1 || n = 1 then List.map f xs
+  else if jobs = 1 || n = 1 then
+    List.map (fun x -> try Ok (f x) with e -> Error e) xs
   else begin
     let results = Array.make n Pending in
     let m = Mutex.create () in
     let next = ref 0 in
-    let failed : exn option ref = ref None in
     let claim () =
       Mutex.lock m;
-      let r = if !failed <> None || !next >= n then None else Some !next in
+      let r = if !next >= n then None else Some !next in
       if r <> None then incr next;
       Mutex.unlock m;
       r
-    in
-    let fail e =
-      Mutex.lock m;
-      if !failed = None then failed := Some e;
-      Mutex.unlock m
     in
     let rec worker () =
       match claim () with
       | None -> ()
       | Some i ->
-          (match f items.(i) with
-          | r -> results.(i) <- Done r
-          | exception e -> fail e);
+          results.(i) <- (match f items.(i) with r -> Done (Ok r) | exception e -> Done (Error e));
           worker ()
     in
     let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join domains;
-    match !failed with
-    | Some e -> raise e
-    | None ->
-        Array.to_list
-          (Array.map (function Done r -> r | Pending -> assert false) results)
+    Array.to_list
+      (Array.map (function Done r -> r | Pending -> assert false) results)
   end
+
+(* Fail-fast map: every item still runs (unlike the historical abort-on-
+   first-failure pool, all results are computed), but the first failure
+   in input order is re-raised in the caller, so existing callers keep
+   their contract. *)
+let map ?jobs f xs =
+  let rec unwrap = function
+    | [] -> []
+    | Ok r :: rest -> r :: unwrap rest
+    | Error e :: _ -> raise e
+  in
+  unwrap (map_result ?jobs f xs)

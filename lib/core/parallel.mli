@@ -2,15 +2,19 @@
     analysis over independent work items.
 
     Results are returned in input order regardless of [jobs] or
-    scheduling; tasks must not share mutable state. The first exception
-    raised by any task aborts the remaining work and is re-raised in the
-    caller after all domains have joined. *)
+    scheduling; tasks must not share mutable state. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~jobs f xs] applies [f] to every element on up to [jobs]
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Crash-isolated map: applies [f] to every element on up to [jobs]
     domains (default {!default_jobs}; [jobs = 1] runs in the calling
-    domain with no spawns). Deterministic: same output as [List.map f xs]
-    whenever [f] is pure. *)
+    domain with no spawns). A task's exception is captured as [Error] in
+    its own slot and the remaining items still run — one poisoned input
+    cannot lose the batch. Deterministic in input order. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Fail-fast map on top of {!map_result}: the first failure in input
+    order is re-raised in the caller after all domains have joined.
+    Same output as [List.map f xs] whenever [f] is pure. *)

@@ -11,14 +11,48 @@ open Nadroid_lang
 open Nadroid_ir
 open Nadroid_analysis
 
+(* Per-phase resource budgets. [pta_steps] is deterministic (instruction
+   transfers); [deadline] is wall-clock seconds for the whole analysis,
+   enforced at the filter phase (the only phase after PTA whose cost
+   scales with the warning count); [explorer_schedules] caps dynamic
+   validation and is threaded through to the explorer by the drivers. *)
+type budgets = {
+  pta_steps : int option;
+  deadline : float option;
+  explorer_schedules : int option;
+}
+
+let no_budgets = { pta_steps = None; deadline = None; explorer_schedules = None }
+
 type config = {
   k : int;  (** k-object-sensitivity depth (paper default: 2) *)
   sound : Filters.name list;
   unsound : Filters.name list;
   atomic_ig : bool;  (** false = DEvA-style unsound IG/IA *)
+  budgets : budgets;
 }
 
-let default_config = { k = 2; sound = Filters.sound; unsound = Filters.unsound; atomic_ig = true }
+let default_config =
+  {
+    k = 2;
+    sound = Filters.sound;
+    unsound = Filters.unsound;
+    atomic_ig = true;
+    budgets = no_budgets;
+  }
+
+(* A recorded sound degradation: the analysis completed, but with less
+   precision (never less coverage) than asked for — the warning set can
+   only grow. *)
+type degradation =
+  | D_pta_k of int  (** points-to fell back from [config.k] to this k *)
+  | D_filters_skipped of Filters.name list  (** starved filters skipped *)
+
+let degradation_to_string = function
+  | D_pta_k k -> Fmt.str "pta-k=%d" k
+  | D_filters_skipped names ->
+      Fmt.str "filters-skipped=%s"
+        (String.concat "+" (List.map Filters.name_to_string names))
 
 type timings = { t_modeling : float; t_detection : float; t_filtering : float }
 
@@ -36,6 +70,7 @@ type metrics = {
   m_wall : float;  (** wall time of the whole analysis *)
   m_pruned : (Filters.name * int) list;
       (** (warning, pair) combinations pruned, credited per filter *)
+  m_degraded : degradation list;  (** empty = full-precision run *)
 }
 
 let phase_sum m = m.m_pta +. m.m_aux +. m.m_threadify +. m.m_detect +. m.m_ctx +. m.m_filter
@@ -69,12 +104,32 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Run the points-to analysis under the configured step budget. When the
+   budget is exhausted at the requested k, fall back down the context
+   ladder k-1, ..., 0: merging contexts means more aliasing, i.e. a
+   sound over-approximation (more warnings), and a far cheaper fixpoint.
+   Only when even the context-insensitive run starves do we give up with
+   a [Budget] fault. *)
+let run_pta config prog : Pta.t * degradation list =
+  match config.budgets.pta_steps with
+  | None -> (Pta.run ~k:config.k prog, [])
+  | Some steps ->
+      let rec ladder k =
+        match Pta.run_budgeted ~steps ~k prog with
+        | Some pta -> (pta, if k = config.k then [] else [ D_pta_k k ])
+        | None ->
+            if k > 0 then ladder (k - 1)
+            else raise (Fault.Fault (Fault.Budget Fault.P_pta))
+      in
+      ladder config.k
+
 let analyze_prog ?(config = default_config) (prog : Prog.t) : t =
   (* modeling: threadification needs the points-to pass, whose dominant
      cost we attribute to detection as in the paper; modeling time covers
      forest construction *)
   let t0 = Unix.gettimeofday () in
-  let pta, t_pta = time (fun () -> Pta.run ~k:config.k prog) in
+  let deadline = Option.map (fun d -> t0 +. d) config.budgets.deadline in
+  let (pta, pta_degr), t_pta = time (fun () -> run_pta config prog) in
   let (esc, locks), t_aux =
     time (fun () -> (Escape.run pta, Lockset.run pta))
   in
@@ -85,11 +140,24 @@ let analyze_prog ?(config = default_config) (prog : Prog.t) : t =
   let ctx, t_ctx =
     time (fun () -> Filters.create_ctx ~atomic_ig:config.atomic_ig threads esc locks)
   in
-  let (after_sound, after_unsound, pruned), t_filter =
+  let (after_sound, after_unsound, pruned, skipped), t_filter =
     time (fun () ->
-        let s, pruned_sound = Filters.apply_counted ctx config.sound potential in
-        let u, pruned_unsound = Filters.apply_counted ctx config.unsound s in
-        (s, u, pruned_sound @ pruned_unsound))
+        match deadline with
+        | None ->
+            let s, pruned_sound = Filters.apply_counted ctx config.sound potential in
+            let u, pruned_unsound = Filters.apply_counted ctx config.unsound s in
+            (s, u, pruned_sound @ pruned_unsound, [])
+        | Some dl ->
+            let s, pruned_sound, sk1 =
+              Filters.apply_counted_deadline ctx ~deadline:dl config.sound potential
+            in
+            let u, pruned_unsound, sk2 =
+              Filters.apply_counted_deadline ctx ~deadline:dl config.unsound s
+            in
+            (s, u, pruned_sound @ pruned_unsound, sk1 @ sk2))
+  in
+  let degraded =
+    pta_degr @ (match skipped with [] -> [] | _ :: _ -> [ D_filters_skipped skipped ])
   in
   let metrics =
     {
@@ -101,6 +169,7 @@ let analyze_prog ?(config = default_config) (prog : Prog.t) : t =
       m_filter = t_filter;
       m_wall = Unix.gettimeofday () -. t0;
       m_pruned = pruned;
+      m_degraded = degraded;
     }
   in
   {

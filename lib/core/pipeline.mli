@@ -8,14 +8,42 @@
 open Nadroid_ir
 open Nadroid_analysis
 
+(** Per-phase resource budgets; [no_budgets] (all [None]) disables
+    enforcement. Exhaustion degrades soundly toward {e more} warnings
+    (recorded in [metrics.m_degraded]) and only raises
+    [Fault (Budget _)] when no sound degradation remains. *)
+type budgets = {
+  pta_steps : int option;
+      (** points-to step budget (instruction transfers, deterministic);
+          on exhaustion the solver retries with smaller k down to 0 *)
+  deadline : float option;
+      (** wall-clock seconds for the whole analysis, enforced at the
+          filter phase: filters starting past the deadline are skipped *)
+  explorer_schedules : int option;
+      (** cap on dynamic-validation schedules, threaded to the explorer
+          by the drivers (not enforced by {!analyze_prog} itself) *)
+}
+
+val no_budgets : budgets
+
 type config = {
   k : int;  (** k-object-sensitivity depth (paper default: 2) *)
   sound : Filters.name list;
   unsound : Filters.name list;
   atomic_ig : bool;  (** [false] = DEvA-style unsound IG/IA *)
+  budgets : budgets;
 }
 
 val default_config : config
+
+(** A recorded sound degradation: the analysis completed with less
+    precision (never less coverage) than configured. *)
+type degradation =
+  | D_pta_k of int  (** points-to fell back from [config.k] to this k *)
+  | D_filters_skipped of Filters.name list  (** starved filters skipped *)
+
+val degradation_to_string : degradation -> string
+(** e.g. ["pta-k=1"], ["filters-skipped=UR+TT"]. *)
 
 type timings = { t_modeling : float; t_detection : float; t_filtering : float }
 
@@ -33,6 +61,7 @@ type metrics = {
   m_wall : float;  (** wall time of the whole analysis *)
   m_pruned : (Filters.name * int) list;
       (** (warning, pair) combinations pruned, credited per filter *)
+  m_degraded : degradation list;  (** empty = full-precision run *)
 }
 
 val phase_sum : metrics -> float

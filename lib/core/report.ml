@@ -46,6 +46,17 @@ let pp ppf r =
 
 (* -- per-phase metrics (§8.8) ------------------------------------------- *)
 
+(* The degraded-mode marker. Shown wherever a budget-starved result is
+   printed, so a report produced under degradation can never be mistaken
+   for a full-precision one: the warning set is a sound superset. *)
+let pp_degraded ppf = function
+  | [] -> ()
+  | ds ->
+      Fmt.pf ppf "DEGRADED (sound, may over-report):%a@\n"
+        (Fmt.list ~sep:Fmt.nop (fun ppf d ->
+             Fmt.pf ppf " %s" (Pipeline.degradation_to_string d)))
+        ds
+
 let pp_metrics ppf (m : Pipeline.metrics) =
   let line name v =
     Fmt.pf ppf "  %-12s %8.3f ms  (%5.1f%%)@\n" name (1000.0 *. v)
@@ -59,14 +70,15 @@ let pp_metrics ppf (m : Pipeline.metrics) =
   line "filter-ctx" m.Pipeline.m_ctx;
   line "filters" m.Pipeline.m_filter;
   Fmt.pf ppf "  %-12s %8.3f ms@\n" "wall" (1000.0 *. m.Pipeline.m_wall);
-  match m.Pipeline.m_pruned with
+  (match m.Pipeline.m_pruned with
   | [] -> ()
   | pruned ->
       Fmt.pf ppf "pairs pruned per filter:";
       List.iter
         (fun (n, c) -> Fmt.pf ppf " %a=%d" Filters.pp_name n c)
         pruned;
-      Fmt.pf ppf "@\n"
+      Fmt.pf ppf "@\n");
+  pp_degraded ppf m.Pipeline.m_degraded
 
 (* Machine-readable metrics: one flat JSON object (no external JSON
    dependency; every value is a number except the name). *)
@@ -94,7 +106,25 @@ let metrics_to_json ?name (m : Pipeline.metrics) : string =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (Filters.name_to_string n) c))
     m.Pipeline.m_pruned;
-  Buffer.add_string buf "}}";
+  Buffer.add_string buf "},\"degraded\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%S" (Pipeline.degradation_to_string d)))
+    m.Pipeline.m_degraded;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* A structured fault as JSON, for failure summaries in batch output. *)
+let fault_to_json ?name (f : Fault.t) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  (match name with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "\"name\":%S," n)
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "\"fault\":%S,\"exit\":%d,\"detail\":%S}" (Fault.class_to_string f)
+       (Fault.exit_code f) (Fault.detail f));
   Buffer.contents buf
 
 let pp_all ppf (tf : Threadify.t) (ws : Detect.warning list) =

@@ -26,11 +26,21 @@ val pp_all : Format.formatter -> Threadify.t -> Detect.warning list -> unit
 
 val to_string : Threadify.t -> Detect.warning list -> string
 
+val pp_degraded : Pipeline.degradation list Fmt.t
+(** The degraded-mode marker ([DEGRADED (sound, may over-report): ...]);
+    prints nothing for a full-precision run. *)
+
 val pp_metrics : Pipeline.metrics Fmt.t
-(** Human-readable per-phase breakdown and per-filter prune counts. *)
+(** Human-readable per-phase breakdown, per-filter prune counts, and the
+    degraded-mode marker when any budget fallback fired. *)
 
 val metrics_to_json : ?name:string -> Pipeline.metrics -> string
 (** One flat JSON object:
     [{"name":..., "pta":s, "aux":s, "threadify":s, "detect":s,
       "create_ctx":s, "filter":s, "phase_sum":s, "wall":s,
-      "pruned":{"MHB":n, ...}}] (times in seconds). *)
+      "pruned":{"MHB":n, ...}, "degraded":["pta-k=1", ...]}]
+    (times in seconds). *)
+
+val fault_to_json : ?name:string -> Fault.t -> string
+(** [{"name":..., "fault":"frontend"|"budget"|"internal", "exit":n,
+      "detail":...}]. *)

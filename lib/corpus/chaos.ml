@@ -1,0 +1,235 @@
+(* Chaos-fuzz harness: deterministic seeded source mutation over the
+   corpus, asserting the analysis runtime's failure model.
+
+   Every mutant of a corpus source must either analyze cleanly or yield
+   a structured fault of an *expected* class — a [Frontend] diagnostic
+   (the mutant is malformed) or a [Budget] exhaustion (the mutant is
+   pathological). An [Internal] fault or a bare exception is a bug in
+   nAdroid; a run past its per-mutant deadline is a liveness bug. The
+   harness counts both as failures.
+
+   Determinism: mutant [i] is produced from [Random.State.make [| seed;
+   i |]], so a failing mutant can be regenerated from its index alone,
+   independent of [--jobs] and of every other mutant. *)
+
+module Fault = Nadroid_core.Fault
+module Pipeline = Nadroid_core.Pipeline
+
+(* -- seeded source mutation ---------------------------------------------- *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || Char.equal c '_'
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+(* Crude token spans: identifier/number runs and single punctuation
+   bytes. Good enough to aim mutations at syntactic units. *)
+let tokens (src : string) : (int * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident_char src.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      toks := (!i, !j - !i) :: !toks;
+      i := !j
+    end
+    else begin
+      (match src.[!i] with ' ' | '\n' | '\t' | '\r' -> () | _ -> toks := (!i, 1) :: !toks);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+let splice src ~start ~len replacement =
+  String.sub src 0 start ^ replacement
+  ^ String.sub src (start + len) (String.length src - start - len)
+
+let pick rng xs =
+  match xs with [] -> None | _ :: _ -> Some (List.nth xs (Random.State.int rng (List.length xs)))
+
+let shuffle_string rng s =
+  let b = Bytes.of_string s in
+  for i = Bytes.length b - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = Bytes.get b i in
+    Bytes.set b i (Bytes.get b j);
+    Bytes.set b j t
+  done;
+  Bytes.to_string b
+
+(* Mutate a source; returns the mutant and a replayable description of
+   the operation. Falls back to truncation when the chosen operation has
+   no eligible target. *)
+let mutate (rng : Random.State.t) (src : string) : string * string =
+  let truncate () =
+    let pos = Random.State.int rng (String.length src + 1) in
+    (String.sub src 0 pos, Printf.sprintf "truncate@%d" pos)
+  in
+  if String.length src = 0 then (src, "empty")
+  else
+    match Random.State.int rng 5 with
+    | 0 -> truncate ()
+    | 1 -> (
+        (* delete a token *)
+        match pick rng (tokens src) with
+        | Some (start, len) -> (splice src ~start ~len "", Printf.sprintf "del@%d+%d" start len)
+        | None -> truncate ())
+    | 2 -> (
+        (* duplicate a token in place *)
+        match pick rng (tokens src) with
+        | Some (start, len) ->
+            let tok = String.sub src start len in
+            ( splice src ~start ~len (tok ^ " " ^ tok),
+              Printf.sprintf "dup@%d+%d" start len )
+        | None -> truncate ())
+    | 3 -> (
+        (* scramble one identifier occurrence *)
+        let idents =
+          List.filter (fun (s, l) -> l >= 2 && is_letter src.[s]) (tokens src)
+        in
+        match pick rng idents with
+        | Some (start, len) ->
+            (splice src ~start ~len (shuffle_string rng (String.sub src start len)),
+             Printf.sprintf "scramble@%d+%d" start len)
+        | None -> truncate ())
+    | _ -> (
+        (* flip a brace/paren to a random other delimiter *)
+        let delims =
+          List.filter
+            (fun (s, _) -> match src.[s] with '{' | '}' | '(' | ')' -> true | _ -> false)
+            (tokens src)
+        in
+        match pick rng delims with
+        | Some (start, _) ->
+            let repl =
+              match Random.State.int rng 4 with 0 -> "{" | 1 -> "}" | 2 -> "(" | _ -> ")"
+            in
+            (splice src ~start ~len:1 repl, Printf.sprintf "flip@%d:%s" start repl)
+        | None -> truncate ())
+
+(* -- harness -------------------------------------------------------------- *)
+
+type failure = {
+  f_app : string;
+  f_index : int;  (** mutant index: regenerate with the same seed *)
+  f_op : string;
+  f_what : string;  (** fault detail or overrun report *)
+}
+
+type summary = {
+  s_mutants : int;
+  s_clean : int;
+  s_frontend : int;
+  s_budget : int;
+  s_uncaught : failure list;  (** internal faults / escaped exceptions *)
+  s_overruns : failure list;  (** mutants that ran past the deadline *)
+  s_elapsed : float;
+}
+
+let failed s = s.s_uncaught <> [] || s.s_overruns <> []
+
+(* Default per-phase budgets for fuzzing. The PTA step ceiling is ~40x
+   the largest full-corpus fixpoint (k=2), so real apps never degrade
+   while a mutant whose points-to blows up is cut off deterministically;
+   the wall-clock deadline backstops the remaining phases. *)
+let default_pta_steps = 2_000_000
+
+let fuzz_config ~deadline : Pipeline.config =
+  {
+    Pipeline.default_config with
+    Pipeline.budgets =
+      {
+        Pipeline.pta_steps = Some default_pta_steps;
+        deadline = Some deadline;
+        explorer_schedules = None;
+      };
+  }
+
+let run ?jobs ?config ?(deadline = 10.0) ~seed ~mutants (apps : Corpus.app list) : summary =
+  if apps = [] then invalid_arg "Chaos.run: empty app list";
+  let config = match config with Some c -> c | None -> fuzz_config ~deadline in
+  ignore (Lazy.force Nadroid_lang.Builtins.program);
+  let t0 = Unix.gettimeofday () in
+  let napps = List.length apps in
+  let one i =
+    let app = List.nth apps (i mod napps) in
+    let rng = Random.State.make [| seed; i |] in
+    let mutant, op = mutate rng app.Corpus.source in
+    let m0 = Unix.gettimeofday () in
+    let r =
+      Fault.wrap (fun () ->
+          Nadroid_core.Pipeline.analyze ~config
+            ~file:(Printf.sprintf "%s#%d" app.Corpus.name i)
+            mutant)
+    in
+    let elapsed = Unix.gettimeofday () -. m0 in
+    (app.Corpus.name, i, op, r, elapsed)
+  in
+  let results =
+    List.map
+      (function Ok r -> r | Error e -> raise e)
+      (Nadroid_core.Parallel.map_result ?jobs one (List.init mutants Fun.id))
+  in
+  let summary =
+    List.fold_left
+      (fun s (name, i, op, r, elapsed) ->
+        let s =
+          if elapsed > deadline then
+            {
+              s with
+              s_overruns =
+                {
+                  f_app = name;
+                  f_index = i;
+                  f_op = op;
+                  f_what = Printf.sprintf "ran %.2fs against a %.2fs deadline" elapsed deadline;
+                }
+                :: s.s_overruns;
+            }
+          else s
+        in
+        match r with
+        | Ok (_ : Pipeline.t) -> { s with s_clean = s.s_clean + 1 }
+        | Error (Fault.Frontend _) -> { s with s_frontend = s.s_frontend + 1 }
+        | Error (Fault.Budget _) -> { s with s_budget = s.s_budget + 1 }
+        | Error (Fault.Internal _ as f) ->
+            {
+              s with
+              s_uncaught =
+                { f_app = name; f_index = i; f_op = op; f_what = Fault.to_string f }
+                :: s.s_uncaught;
+            })
+      {
+        s_mutants = mutants;
+        s_clean = 0;
+        s_frontend = 0;
+        s_budget = 0;
+        s_uncaught = [];
+        s_overruns = [];
+        s_elapsed = 0.0;
+      }
+      results
+  in
+  {
+    summary with
+    s_elapsed = Unix.gettimeofday () -. t0;
+    s_uncaught = List.rev summary.s_uncaught;
+    s_overruns = List.rev summary.s_overruns;
+  }
+
+let pp_failure ppf f =
+  Fmt.pf ppf "mutant #%d of %s (%s): %s" f.f_index f.f_app f.f_op f.f_what
+
+let pp_summary ppf s =
+  Fmt.pf ppf "fuzzed %d mutant(s) in %.1fs: %d clean, %d frontend diagnostic(s), %d budget@\n"
+    s.s_mutants s.s_elapsed s.s_clean s.s_frontend s.s_budget;
+  List.iter (fun f -> Fmt.pf ppf "UNCAUGHT  %a@\n" pp_failure f) s.s_uncaught;
+  List.iter (fun f -> Fmt.pf ppf "OVERRUN   %a@\n" pp_failure f) s.s_overruns;
+  if failed s then
+    Fmt.pf ppf "FAILED: %d uncaught, %d overrun@\n" (List.length s.s_uncaught)
+      (List.length s.s_overruns)
+  else Fmt.pf ppf "OK: no uncaught exceptions, no deadline overruns@\n"

@@ -1,0 +1,52 @@
+(** Chaos-fuzz harness: deterministic seeded mutation of corpus sources,
+    asserting the runtime's failure model — every mutant analyzes
+    cleanly or yields a structured [Frontend]/[Budget] fault, never an
+    [Internal] fault or escaped exception, never past its deadline. *)
+
+val mutate : Random.State.t -> string -> string * string
+(** One random mutation (byte truncation, token deletion/duplication,
+    identifier scrambling, brace/paren flip); returns the mutant and a
+    short description of the operation applied. *)
+
+type failure = {
+  f_app : string;
+  f_index : int;  (** mutant index: regenerate with the same seed *)
+  f_op : string;
+  f_what : string;  (** fault detail or overrun report *)
+}
+
+type summary = {
+  s_mutants : int;
+  s_clean : int;
+  s_frontend : int;
+  s_budget : int;
+  s_uncaught : failure list;  (** internal faults / escaped exceptions *)
+  s_overruns : failure list;  (** mutants that ran past the deadline *)
+  s_elapsed : float;
+}
+
+val failed : summary -> bool
+
+val default_pta_steps : int
+(** PTA step ceiling used by the default fuzz config — far above the
+    largest full-corpus fixpoint, so only pathological mutants hit it. *)
+
+val fuzz_config : deadline:float -> Nadroid_core.Pipeline.config
+(** Default analysis config for fuzzing: k = 2 with a PTA step budget
+    and a wall-clock filter deadline. *)
+
+val run :
+  ?jobs:int ->
+  ?config:Nadroid_core.Pipeline.config ->
+  ?deadline:float ->
+  seed:int ->
+  mutants:int ->
+  Corpus.app list ->
+  summary
+(** Generate [mutants] mutants (apps assigned round-robin, one rng per
+    mutant seeded from [seed] and the mutant index) and analyze each
+    under the budgeted config, classifying the results. Deterministic in
+    everything but [s_elapsed] and overrun timings. *)
+
+val pp_failure : failure Fmt.t
+val pp_summary : summary Fmt.t

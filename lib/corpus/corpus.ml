@@ -31,15 +31,20 @@ let find name =
 (* Analyze a batch of apps on a domain pool. Each analysis is
    self-contained (per-engine interning, per-run hashtables), so apps
    parallelize without shared state; results come back in input order,
-   independent of [jobs]. *)
+   independent of [jobs]. Failures are isolated per app: one poisoned
+   source yields a structured [Fault.t] in its own slot while the rest
+   of the batch completes. *)
 let analyze_all ?config ?jobs (apps : app list) :
-    (app * Nadroid_core.Pipeline.t) list =
+    (app * (Nadroid_core.Pipeline.t, Nadroid_core.Fault.t) result) list =
   (* the builtin framework program is a global lazy: force it before
      spawning so domains never race on the thunk *)
   ignore (Lazy.force Nadroid_lang.Builtins.program);
-  Nadroid_core.Parallel.map ?jobs
-    (fun app -> (app, Nadroid_core.Pipeline.analyze ?config ~file:app.name app.source))
+  List.map2
+    (fun app r -> (app, Result.map_error Nadroid_core.Fault.of_exn r))
     apps
+    (Nadroid_core.Parallel.map_result ?jobs
+       (fun app -> Nadroid_core.Pipeline.analyze ?config ~file:app.name app.source)
+       apps)
 
 (* -- Table 2: artificial UAF injection ----------------------------------- *)
 

@@ -23,10 +23,12 @@ val analyze_all :
   ?config:Nadroid_core.Pipeline.config ->
   ?jobs:int ->
   app list ->
-  (app * Nadroid_core.Pipeline.t) list
+  (app * (Nadroid_core.Pipeline.t, Nadroid_core.Fault.t) result) list
 (** Run the full pipeline over a batch of apps on a domain pool of
     [jobs] domains (default: all cores). Results are in input order and
-    byte-identical at any [jobs] value. *)
+    byte-identical at any [jobs] value. Failures are isolated per app:
+    a bad source yields [Error fault] in its own slot and the rest of
+    the batch still completes. *)
 
 val injected_category : Spec.pattern -> Nadroid_core.Classify.category
 (** The nominal origin category an injected pattern is reported under. *)

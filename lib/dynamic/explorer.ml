@@ -18,6 +18,7 @@ open Nadroid_core
 type outcome = {
   o_steps : int;
   o_npes : Interp.npe list;
+  o_stucks : Interp.stuck list;  (** non-NPE runtime faults survived *)
   o_crashed : bool;
   o_trace : World.action list;  (** actions taken, in order *)
 }
@@ -37,7 +38,13 @@ let run_schedule ?resume_on_npe (prog : Prog.t)
         incr steps;
         World.perform w a
   done;
-  { o_steps = !steps; o_npes = World.npes w; o_crashed = w.World.crashed; o_trace = List.rev !trace }
+  {
+    o_steps = !steps;
+    o_npes = World.npes w;
+    o_stucks = World.stucks w;
+    o_crashed = w.World.crashed;
+    o_trace = List.rev !trace;
+  }
 
 let random_run ?resume_on_npe (prog : Prog.t) ~seed ~max_steps : outcome =
   let rng = Random.State.make [| seed |] in
@@ -137,7 +144,13 @@ let guided_run (prog : Prog.t) (wng : Detect.warning) ~seed ~max_steps : outcome
         incr steps;
         World.perform w a
   done;
-  { o_steps = !steps; o_npes = World.npes w; o_crashed = w.World.crashed; o_trace = List.rev !trace }
+  {
+    o_steps = !steps;
+    o_npes = World.npes w;
+    o_stucks = World.stucks w;
+    o_crashed = w.World.crashed;
+    o_trace = List.rev !trace;
+  }
 
 type validation = { v_harmful : bool; v_runs : int; v_witness : World.action list option }
 
@@ -182,36 +195,54 @@ let replay (prog : Prog.t) (script : string list) : outcome =
             World.perform w a
         | None -> ())
     script;
-  { o_steps = !steps; o_npes = World.npes w; o_crashed = w.World.crashed; o_trace = List.rev !trace }
+  {
+    o_steps = !steps;
+    o_npes = World.npes w;
+    o_stucks = World.stucks w;
+    o_crashed = w.World.crashed;
+    o_trace = List.rev !trace;
+  }
 
 (* Bounded exhaustive exploration: every schedule of length <= depth.
-   Returns all distinct NPE sites encountered. *)
-let exhaustive (prog : Prog.t) ~depth : Interp.npe list =
+   Returns all distinct NPE sites encountered. [max_schedules] caps the
+   number of schedules replayed — the explorer budget: the schedule
+   space is exponential in depth, so an unbounded DFS over an
+   adversarial input could run for hours. Cutting off early only loses
+   potential witnesses (degrades toward fewer validations), never
+   reports a spurious one. *)
+let exhaustive ?max_schedules (prog : Prog.t) ~depth : Interp.npe list =
   let seen = Hashtbl.create 16 in
+  let schedules = ref 0 in
+  let exhausted () =
+    match max_schedules with Some m -> !schedules >= m | None -> false
+  in
   let rec go (prefix : int list) d =
-    let w = World.create prog in
-    (* replay prefix *)
-    let ok =
-      List.for_all
-        (fun idx ->
-          let actions = World.enabled_actions w in
-          match List.nth_opt actions idx with
-          | Some a ->
-              World.perform w a;
-              true
-          | None -> false)
-        (List.rev prefix)
-    in
-    if ok then begin
-      List.iter
-        (fun (npe : Interp.npe) ->
-          Hashtbl.replace seen (npe.Interp.npe_mref, npe.Interp.npe_instr_id) npe)
-        (World.npes w);
-      if d > 0 && not w.World.crashed then
-        let n = List.length (World.enabled_actions w) in
-        for i = 0 to n - 1 do
-          go (i :: prefix) (d - 1)
-        done
+    if not (exhausted ()) then begin
+      incr schedules;
+      let w = World.create prog in
+      (* replay prefix *)
+      let ok =
+        List.for_all
+          (fun idx ->
+            let actions = World.enabled_actions w in
+            match List.nth_opt actions idx with
+            | Some a ->
+                World.perform w a;
+                true
+            | None -> false)
+          (List.rev prefix)
+      in
+      if ok then begin
+        List.iter
+          (fun (npe : Interp.npe) ->
+            Hashtbl.replace seen (npe.Interp.npe_mref, npe.Interp.npe_instr_id) npe)
+          (World.npes w);
+        if d > 0 && not w.World.crashed then
+          let n = List.length (World.enabled_actions w) in
+          for i = 0 to n - 1 do
+            go (i :: prefix) (d - 1)
+          done
+      end
     end
   in
   go [] depth;

@@ -8,6 +8,7 @@ open Nadroid_core
 type outcome = {
   o_steps : int;
   o_npes : Interp.npe list;
+  o_stucks : Interp.stuck list;  (** non-NPE runtime faults survived *)
   o_crashed : bool;
   o_trace : World.action list;  (** actions taken, in order *)
 }
@@ -56,6 +57,9 @@ val replay : Prog.t -> string list -> outcome
     validation witness prints them); unknown or currently-disabled lines
     are skipped. *)
 
-val exhaustive : Prog.t -> depth:int -> Interp.npe list
+val exhaustive : ?max_schedules:int -> Prog.t -> depth:int -> Interp.npe list
 (** Bounded-exhaustive exploration of every schedule up to [depth]
-    actions; returns the distinct NPE sites encountered. *)
+    actions; returns the distinct NPE sites encountered. The schedule
+    space is exponential in [depth], so [max_schedules] caps the number
+    of schedules replayed (the explorer budget); the cutoff can only
+    lose witnesses, never invent one. *)

@@ -20,6 +20,17 @@ exception Npe of npe
 
 exception Out_of_fuel
 
+(* A user-reachable runtime fault other than an NPE (division by zero,
+   ...): a well-typed program can trigger it, so the embedding must
+   survive it like an NPE rather than treat it as an interpreter bug. *)
+type stuck = { st_mref : Instr.mref; st_instr_id : int; st_loc : Loc.t; st_reason : string }
+
+exception Stuck of stuck
+
+(* Internal carrier for operation-level faults; [exec_instr] converts it
+   into a located {!Stuck} at the faulting instruction. *)
+exception Stuck_op of string
+
 type hooks = {
   h_api : recv:Value.t -> ms:Sema.method_sig -> args:Value.t list -> Api.kind -> Value.t;
       (** handle a framework API call (post/register/spawn/cancel/opaque) *)
@@ -70,11 +81,11 @@ let eval_binop op a b =
   | Ast.Mul -> int_op ( * )
   | Ast.Div -> (
       match b with
-      | Value.Vint 0 -> invalid_arg "Interp: division by zero"
+      | Value.Vint 0 -> raise (Stuck_op "division by zero")
       | _ -> int_op ( / ))
   | Ast.Mod -> (
       match b with
-      | Value.Vint 0 -> invalid_arg "Interp: modulo by zero"
+      | Value.Vint 0 -> raise (Stuck_op "modulo by zero")
       | _ -> int_op (fun x y -> x mod y))
   | Ast.Lt -> cmp_op ( < )
   | Ast.Le -> cmp_op ( <= )
@@ -119,7 +130,20 @@ let rec exec_body (t : t) (body : Cfg.body) (recv : Value.t) (args : Value.t lis
         if Value.truthy (get cond) then run_block bt else run_block bf
     | Cfg.Ret None -> Value.Vnull
     | Cfg.Ret (Some v) -> get v
-  and exec_instr _blk (ins : Instr.t) =
+  and exec_instr blk (ins : Instr.t) =
+    (* locate operation-level faults at the faulting instruction; a
+       [Stuck] from a callee is already located and passes through *)
+    try exec_instr_raw blk ins
+    with Stuck_op reason ->
+      raise
+        (Stuck
+           {
+             st_mref = body.Cfg.mref;
+             st_instr_id = ins.Instr.id;
+             st_loc = ins.Instr.loc;
+             st_reason = reason;
+           })
+  and exec_instr_raw _blk (ins : Instr.t) =
     t.hooks.h_fuel ();
     match ins.Instr.i with
     | Instr.Move (d, s) -> set d (get s)

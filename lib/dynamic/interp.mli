@@ -16,6 +16,14 @@ exception Npe of npe
 
 exception Out_of_fuel
 
+type stuck = { st_mref : Instr.mref; st_instr_id : int; st_loc : Loc.t; st_reason : string }
+(** A user-reachable runtime fault other than an NPE (division by zero,
+    ...), located at the faulting instruction. The embedding survives it
+    like an NPE; only true interpreter invariant violations escape as
+    {!Nadroid_core.Fault.Internal}. *)
+
+exception Stuck of stuck
+
 type hooks = {
   h_api :
     recv:Value.t -> ms:Sema.method_sig -> args:Value.t list -> Nadroid_android.Api.kind -> Value.t;

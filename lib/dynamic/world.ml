@@ -60,6 +60,7 @@ type t = {
   views : (int * int, Value.t) Hashtbl.t;  (* (activity obj, view id) -> view *)
   singletons : (string, Value.t) Hashtbl.t;
   mutable npes : Interp.npe list;
+  mutable stucks : Interp.stuck list;
   mutable logs : string list;  (* reversed *)
   mutable fuel : int;
   mutable crashed : bool;
@@ -363,6 +364,7 @@ let create ?(resume_on_npe = false) (prog : Prog.t) : t =
     views = Hashtbl.create 16;
     singletons = Hashtbl.create 4;
     npes = [];
+    stucks = [];
     logs = [];
     fuel = 200_000;
     crashed = false;
@@ -498,8 +500,20 @@ let step_fiber w ~fiber_id ~(state : thread_state) ~(set_state : thread_state ->
     | Interp.Npe npe ->
         w.npes <- npe :: w.npes;
         if not w.resume_on_npe then w.crashed <- true
+    | Interp.Stuck s ->
+        (* user-reachable runtime fault: survives like an NPE — the
+           faulting fiber dies, the world keeps (or stops) scheduling
+           under the same policy *)
+        w.stucks <- s :: w.stucks;
+        if not w.resume_on_npe then w.crashed <- true
     | Interp.Out_of_fuel -> w.crashed <- true
-    | e -> raise e
+    | Nadroid_core.Fault.Fault _ as e -> raise e
+    | e ->
+        (* anything else escaping a fiber is a simulator bug: surface it
+           as a structured internal fault, not a bare exception *)
+        raise
+          (Nadroid_core.Fault.Fault
+             (Nadroid_core.Fault.Internal ("simulator: " ^ Printexc.to_string e)))
   in
   (match state with
   | Ready f ->
@@ -729,5 +743,7 @@ let all_backgrounded w =
 let no_sleep_state w = all_backgrounded w && held_wakelocks w <> []
 
 let npes w = List.rev w.npes
+
+let stucks w = List.rev w.stucks
 
 let logs w = List.rev w.logs

@@ -59,6 +59,7 @@ type t = {
   views : (int * int, Value.t) Hashtbl.t;
   singletons : (string, Value.t) Hashtbl.t;
   mutable npes : Interp.npe list;
+  mutable stucks : Interp.stuck list;
   mutable logs : string list;
   mutable fuel : int;
   mutable crashed : bool;
@@ -119,5 +120,10 @@ val held_wakelocks : t -> int list
 val all_backgrounded : t -> bool
 
 val npes : t -> Interp.npe list
+
+val stucks : t -> Interp.stuck list
+(** User-reachable runtime faults (division by zero, ...) recorded so
+    far, oldest first; handled under the same crash/resume policy as
+    NPEs. *)
 
 val logs : t -> string list

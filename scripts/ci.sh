@@ -38,4 +38,8 @@ for key in '"jobs"' '"apps"' '"totals"' '"elapsed"' '"pruned"'; do
     ;;
   esac
 done
+# 4. Chaos-fuzz smoke: mutated corpus sources must only ever produce
+#    clean runs or structured frontend/budget faults (exit 0 iff so).
+dune exec --no-print-directory bin/nadroid.exe -- fuzz --seed 42 --mutants 200
+
 echo "ci: ok"

@@ -144,10 +144,13 @@ let analyze_all_is_jobs_invariant =
       in
       let norm results =
         List.map
-          (fun ((a : Corpus.app), (t : Pipeline.t)) ->
-            ( a.Corpus.name,
-              List.map Detect.warning_key t.Pipeline.after_unsound,
-              Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound ))
+          (fun ((a : Corpus.app), r) ->
+            match r with
+            | Ok (t : Pipeline.t) ->
+                ( a.Corpus.name,
+                  List.map Detect.warning_key t.Pipeline.after_unsound,
+                  Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound )
+            | Error f -> (a.Corpus.name, [], Nadroid_core.Fault.to_string f))
           results
       in
       norm (Corpus.analyze_all ~jobs:1 apps) = norm (Corpus.analyze_all ~jobs:4 apps))

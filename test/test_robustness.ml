@@ -1,0 +1,125 @@
+(* Robustness of the analysis runtime: the fault taxonomy's guarantees
+   hold under hostile inputs and starved budgets.
+
+   - arbitrary truncation of a real source is either analyzed cleanly or
+     rejected with a frontend diagnostic — never any other exception;
+   - one poisoned input in a parallel corpus run costs exactly its own
+     slot, never the batch;
+   - a starved PTA budget degrades to a coarser k whose warning set is a
+     superset of the full-precision run (sound degradation);
+   - the chaos harness itself finds nothing on the shipped corpus;
+   - user-reachable runtime faults in the simulator surface as located
+     [Interp.Stuck] records, not as crashes of the harness. *)
+
+module Pipeline = Nadroid_core.Pipeline
+module Fault = Nadroid_core.Fault
+module Detect = Nadroid_core.Detect
+module Corpus = Nadroid_corpus.Corpus
+module Chaos = Nadroid_corpus.Chaos
+
+let analyze_src src =
+  Fault.wrap (fun () -> Pipeline.analyze ~file:"fuzz" src)
+
+(* Truncating a well-formed source at any byte must hit the structured
+   frontend path (or still parse, for cuts in trailing whitespace or at
+   a top-level boundary) — never an assertion, Not_found, or other
+   internal failure. *)
+let truncation_prop =
+  QCheck2.Test.make ~name:"truncated corpus sources fail only with frontend diagnostics"
+    ~count:120
+    QCheck2.Gen.(
+      pair (oneofl (Lazy.force Corpus.all)) (float_bound_inclusive 1.0))
+    (fun (app, frac) ->
+      let src = app.Corpus.source in
+      let cut = int_of_float (frac *. float_of_int (String.length src)) in
+      match analyze_src (String.sub src 0 cut) with
+      | Ok _ | Error (Fault.Frontend _) -> true
+      | Error (Fault.Budget _ | Fault.Internal _) -> false)
+
+let poisoned_corpus () =
+  let good = Lazy.force Corpus.all in
+  let poisoned =
+    { (List.hd good) with Corpus.name = "poisoned"; source = "class Broken extends {{{" }
+  in
+  let results = Corpus.analyze_all ~jobs:2 (good @ [ poisoned ]) in
+  Alcotest.(check int) "all slots present" (List.length good + 1) (List.length results);
+  let oks, errs = List.partition (fun (_, r) -> Result.is_ok r) results in
+  Alcotest.(check int) "good apps all analyzed" (List.length good) (List.length oks);
+  match errs with
+  | [ (app, Error (Fault.Frontend _)) ] ->
+      Alcotest.(check string) "failure is the poisoned app" "poisoned" app.Corpus.name
+  | _ -> Alcotest.fail "expected exactly one frontend fault"
+
+(* Budget = the exact step count of an unbudgeted k=0 fixpoint: k=2 and
+   k=1 exhaust it, the k=0 retry just fits, and the run must come back
+   degraded with every full-precision warning still present. *)
+let degraded_superset () =
+  let app =
+    match Corpus.find "Zxing" with Some a -> a | None -> Alcotest.fail "no Zxing"
+  in
+  let full = Pipeline.analyze ~file:app.Corpus.name app.Corpus.source in
+  let prog = full.Pipeline.prog in
+  let k0_steps = (Nadroid_analysis.Pta.run ~k:0 prog).Nadroid_analysis.Pta.steps in
+  Alcotest.(check bool)
+    "k=0 is strictly cheaper than k=2" true
+    (k0_steps < full.Pipeline.pta.Nadroid_analysis.Pta.steps);
+  let config =
+    {
+      Pipeline.default_config with
+      Pipeline.budgets = { Pipeline.no_budgets with Pipeline.pta_steps = Some k0_steps };
+    }
+  in
+  let degraded = Pipeline.analyze_prog ~config prog in
+  Alcotest.(check bool)
+    "run is marked degraded" true
+    (degraded.Pipeline.metrics.Pipeline.m_degraded <> []);
+  let keys t = List.map Detect.warning_key t.Pipeline.after_unsound in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Fmt.str "full-precision warning %s survives degradation" (fst k))
+        true
+        (List.mem k (keys degraded)))
+    (keys full)
+
+let chaos_smoke () =
+  let s = Chaos.run ~jobs:2 ~seed:7 ~mutants:48 (Lazy.force Corpus.all) in
+  Alcotest.(check int) "all mutants ran" 48 s.Chaos.s_mutants;
+  if Chaos.failed s then Alcotest.failf "chaos found failures:@.%a" Chaos.pp_summary s
+
+let mutate_deterministic () =
+  let src = (List.hd (Lazy.force Corpus.all)).Corpus.source in
+  let m i = Chaos.mutate (Random.State.make [| 3; i |]) src in
+  List.iter (fun i -> Alcotest.(check (pair string string)) "same rng, same mutant" (m i) (m i))
+    [ 0; 1; 2; 17 ]
+
+(* A division by zero inside a callback is a user fault: the simulator
+   must record a located stuck and keep the harness alive. *)
+let stuck_is_located () =
+  let prog =
+    Nadroid_ir.Prog.of_source ~file:"t"
+      {|class A extends Activity { field int d;
+          method void onCreate() { var int x = 7 / d; log(i2s(x)); } }|}
+  in
+  let o = Nadroid_dynamic.Explorer.random_run ~resume_on_npe:true prog ~seed:0 ~max_steps:40 in
+  match o.Nadroid_dynamic.Explorer.o_stucks with
+  | [] -> Alcotest.fail "expected a stuck record"
+  | s :: _ ->
+      Alcotest.(check string)
+        "reason" "division by zero" s.Nadroid_dynamic.Interp.st_reason;
+      Alcotest.(check string)
+        "faulting method" "onCreate" s.Nadroid_dynamic.Interp.st_mref.Nadroid_ir.Instr.mr_name
+
+let suite =
+  [
+    ( "robustness",
+      [
+        QCheck_alcotest.to_alcotest truncation_prop;
+        Alcotest.test_case "poisoned corpus app fails alone" `Quick poisoned_corpus;
+        Alcotest.test_case "starved PTA degrades to a warning superset" `Quick degraded_superset;
+        Alcotest.test_case "chaos smoke finds nothing on the corpus" `Slow chaos_smoke;
+        Alcotest.test_case "mutator is deterministic per (seed, index)" `Quick
+          mutate_deterministic;
+        Alcotest.test_case "runtime faults surface as located stucks" `Quick stuck_is_located;
+      ] );
+  ]
