@@ -58,6 +58,12 @@ let evaluate_all ?config ?jobs (apps : Corpus.app list) :
    own row, not the batch. *)
 let worst_exit = ref 0
 
+(* When set (by the drivers' [--json] flag), [keep_ok] emits its failure
+   inventory as one JSON line on stderr — always, even when empty, so a
+   harvesting script sees one record per batch — instead of the aligned
+   human summary. *)
+let json_faults = ref false
+
 (* Split a batch into its successful payloads, printing a failure
    summary for the rest on stderr (stdout may be machine-readable). *)
 let keep_ok ~what ~name (results : ('a * ('b, Nadroid_core.Fault.t) result) list) :
@@ -67,18 +73,27 @@ let keep_ok ~what ~name (results : ('a * ('b, Nadroid_core.Fault.t) result) list
       (fun (x, r) -> match r with Error f -> Some (x, f) | Ok _ -> None)
       results
   in
-  (match faults with
-  | [] -> ()
-  | _ :: _ ->
-      Printf.eprintf "%s: %d/%d item(s) failed:\n" what (List.length faults)
-        (List.length results);
-      List.iter
-        (fun (x, f) ->
-          Printf.eprintf "  %-14s [%s] %s\n" (name x)
-            (Nadroid_core.Fault.class_to_string f)
-            (Nadroid_core.Fault.to_string f))
-        faults;
-      worst_exit := max !worst_exit (Nadroid_core.Fault.worst_exit (List.map snd faults)));
+  if !json_faults then
+    Printf.eprintf "{\"what\":%S,\"items\":%d,\"faults\":[%s]}\n" what (List.length results)
+      (String.concat ","
+         (List.map
+            (fun (x, f) -> Nadroid_core.Report.fault_to_json ~name:(name x) f)
+            faults))
+  else begin
+    match faults with
+    | [] -> ()
+    | _ :: _ ->
+        Printf.eprintf "%s: %d/%d item(s) failed:\n" what (List.length faults)
+          (List.length results);
+        List.iter
+          (fun (x, f) ->
+            Printf.eprintf "  %-14s [%s] %s\n" (name x)
+              (Nadroid_core.Fault.class_to_string f)
+              (Nadroid_core.Fault.to_string f))
+          faults
+  end;
+  if faults <> [] then
+    worst_exit := max !worst_exit (Nadroid_core.Fault.worst_exit (List.map snd faults));
   List.filter_map (fun (x, r) -> match r with Ok v -> Some (x, v) | Error _ -> None) results
 
 let app_name (a : Corpus.app) = a.Corpus.name

@@ -553,7 +553,9 @@ let extension () =
 let () =
   (* usage: main.exe [EXPERIMENT] [--jobs N] [--json]
      --jobs parallelizes the corpus drivers over N domains (default: all
-     cores); --json makes `timing` emit a machine-readable bench point. *)
+     cores); --json makes `timing` emit a machine-readable bench point
+     and switches every batch failure inventory to JSON lines on
+     stderr. *)
   let which = ref "all" and jobs = ref (Nadroid_core.Parallel.default_jobs ()) and json = ref false in
   let rec parse = function
     | [] -> ()
@@ -573,6 +575,8 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = !jobs and json = !json in
+  (* under --json, batch failure inventories also go out as JSON lines *)
+  Eval.json_faults := json;
   (* force the shared builtin-program lazy before any domain spawns *)
   ignore (Lazy.force Nadroid_lang.Builtins.program);
   let all =

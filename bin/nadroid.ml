@@ -7,6 +7,8 @@
      nadroid deva     app.mand      run the DEvA baseline
      nadroid run      app.mand      one random simulator run
      nadroid fuzz                   chaos-fuzz the runtime over corpus mutants
+     nadroid difftest               differential soundness test on generated apps
+     nadroid golden                 diff/bless the corpus golden reports
      nadroid corpus [NAME]          list corpus apps / dump one source
 
    Exit codes follow the fault taxonomy: 0 ok, 1 frontend diagnostic,
@@ -97,7 +99,15 @@ let analyze_cmd =
       value & flag
       & info [ "timings" ] ~doc:"print the per-phase timing breakdown and filter prune counts")
   in
-  let run files k sound_only jobs timings budget_pta deadline budget_explorer =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "machine-readable output: one JSON object with per-file warning counts and the \
+             fault inventory, instead of the human report")
+  in
+  let run files k sound_only jobs timings json budget_pta deadline budget_explorer =
     let config =
       {
         Pipeline.default_config with
@@ -118,20 +128,37 @@ let analyze_cmd =
            (fun path -> Pipeline.analyze ~config ~file:path (read_file path))
            files)
     in
-    List.iter
-      (fun (path, r) ->
-        if List.length files > 1 then Fmt.pr "== %s ==@." path;
-        match r with
-        | Ok (t : Pipeline.t) ->
-            Fmt.pr "potential UAFs: %d; after sound filters: %d; after unsound filters: %d@.@."
-              (List.length t.Pipeline.potential)
-              (List.length t.Pipeline.after_sound)
-              (List.length t.Pipeline.after_unsound);
-            print_string
-              (Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound);
-            if timings then Fmt.pr "%a" Nadroid_core.Report.pp_metrics t.Pipeline.metrics
-        | Error fault -> Fmt.epr "%s: %a@." path Fault.pp fault)
-      results;
+    (if json then
+       (* stable machine-readable form: per-file counts plus the fault
+          inventory, so CI can diff inventories across runs *)
+       let file_json (path, r) =
+         match r with
+         | Ok (t : Pipeline.t) ->
+             Printf.sprintf "{\"name\":%S,\"potential\":%d,\"sound\":%d,\"unsound\":%d}" path
+               (List.length t.Pipeline.potential)
+               (List.length t.Pipeline.after_sound)
+               (List.length t.Pipeline.after_unsound)
+         | Error fault -> Nadroid_core.Report.fault_to_json ~name:path fault
+       in
+       let ok, bad = List.partition (fun (_, r) -> Result.is_ok r) results in
+       Fmt.pr "{\"files\":%d,\"apps\":[%s],\"faults\":[%s]}@." (List.length results)
+         (String.concat "," (List.map file_json ok))
+         (String.concat "," (List.map file_json bad))
+     else
+       List.iter
+         (fun (path, r) ->
+           if List.length files > 1 then Fmt.pr "== %s ==@." path;
+           match r with
+           | Ok (t : Pipeline.t) ->
+               Fmt.pr "potential UAFs: %d; after sound filters: %d; after unsound filters: %d@.@."
+                 (List.length t.Pipeline.potential)
+                 (List.length t.Pipeline.after_sound)
+                 (List.length t.Pipeline.after_unsound);
+               print_string
+                 (Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound);
+               if timings then Fmt.pr "%a" Nadroid_core.Report.pp_metrics t.Pipeline.metrics
+           | Error fault -> Fmt.epr "%s: %a@." path Fault.pp fault)
+         results);
     let faults = List.filter_map (fun (_, r) -> Result.fold ~ok:(fun _ -> None) ~error:Option.some r) results in
     (match faults with
     | [] -> ()
@@ -142,8 +169,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"statically detect UAF ordering violations")
     Term.(
-      const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg $ budget_pta_arg
-      $ deadline_arg $ budget_explorer_arg)
+      const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg $ json_arg
+      $ budget_pta_arg $ deadline_arg $ budget_explorer_arg)
 
 let validate_cmd =
   let runs_arg =
@@ -299,6 +326,111 @@ let fuzz_cmd =
           fail on any uncaught exception or deadline overrun")
     Term.(const run $ seed_arg $ mutants_arg $ jobs_arg $ fuzz_deadline_arg)
 
+let difftest_cmd =
+  let module Differential = Nadroid_corpus.Differential in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"generation seed (app i uses N+i)")
+  in
+  let apps_arg =
+    Arg.(value & opt int 100 & info [ "apps" ] ~docv:"N" ~doc:"number of generated apps")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"domains to check on (default: all cores)")
+  in
+  let runs_arg =
+    Arg.(
+      value
+      & opt int Differential.default_oracle.Differential.dr_runs
+      & info [ "runs" ] ~docv:"N" ~doc:"uniform random walks per app")
+  in
+  let guided_arg =
+    Arg.(
+      value
+      & opt int Differential.default_oracle.Differential.dr_guided
+      & info [ "guided" ] ~docv:"N" ~doc:"guided walks per surviving warning")
+  in
+  let steps_arg =
+    Arg.(
+      value
+      & opt int Differential.default_oracle.Differential.dr_steps
+      & info [ "steps" ] ~docv:"N" ~doc:"max schedule steps per walk")
+  in
+  let weaken_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "weaken" ] ~docv:"MODE"
+          ~doc:
+            "deliberately weaken a sound filter to prove the harness catches it: 'invert-ig' \
+             inverts IG's guard check (default 'none')")
+  in
+  let run seed apps jobs runs guided steps weaken =
+    let weaken =
+      match Differential.weaken_of_string weaken with
+      | Some w -> w
+      | None ->
+          Fmt.epr "unknown --weaken mode %s (try 'none' or 'invert-ig')@." weaken;
+          exit 2
+    in
+    let oracle =
+      { Differential.dr_runs = runs; dr_guided = guided; dr_steps = steps }
+    in
+    let summary =
+      with_fault (fun () -> Differential.run ?jobs ~oracle ~weaken ~seed ~apps ())
+    in
+    Fmt.pr "%a@?" Differential.pp_summary summary;
+    if summary.Differential.su_counterexamples <> [] then exit 4
+    else if summary.Differential.su_faults <> [] then
+      exit (Fault.worst_exit (List.map snd summary.Differential.su_faults))
+  in
+  Cmd.v
+    (Cmd.info "difftest"
+       ~doc:
+         "differential soundness test: generate random well-typed apps, cross-check the \
+          sound-filters-only static pipeline against the schedule explorer as a dynamic \
+          oracle, and shrink any counterexample")
+    Term.(
+      const run $ seed_arg $ apps_arg $ jobs_arg $ runs_arg $ guided_arg $ steps_arg
+      $ weaken_arg)
+
+let golden_cmd =
+  let module Golden = Nadroid_corpus.Golden in
+  let dir_arg =
+    Arg.(
+      value & opt string "test/golden"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"directory of .expected files (default test/golden)")
+  in
+  let bless_arg =
+    Arg.(value & flag & info [ "bless" ] ~doc:"regenerate every .expected file instead of diffing")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"domains to analyze on (default: all cores)")
+  in
+  let run dir bless jobs =
+    if bless then
+      let n = with_fault (fun () -> Golden.bless ~dir ?jobs ()) in
+      Fmt.pr "blessed %d golden report(s) into %s@." n dir
+    else
+      let results = with_fault (fun () -> Golden.check ~dir ?jobs ()) in
+      List.iter (fun r -> Fmt.pr "%a@." Golden.pp_status r) results;
+      if not (Golden.ok results) then (
+        let bad = List.filter (fun (_, s) -> s <> Golden.G_ok) results in
+        Fmt.epr "golden: %d of %d report(s) drifted or missing@." (List.length bad)
+          (List.length results);
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "golden"
+       ~doc:
+         "diff the corpus against committed canonical reports (fails on any warning-set \
+          drift); --bless regenerates them")
+    Term.(const run $ dir_arg $ bless_arg $ jobs_arg)
+
 let corpus_cmd =
   let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
   let run name =
@@ -337,5 +469,7 @@ let () =
             run_cmd;
             replay_cmd;
             fuzz_cmd;
+            difftest_cmd;
+            golden_cmd;
             corpus_cmd;
           ]))

@@ -41,6 +41,8 @@ let default_config =
     budgets = no_budgets;
   }
 
+let sound_only_config = { default_config with unsound = [] }
+
 (* A recorded sound degradation: the analysis completed, but with less
    precision (never less coverage) than asked for — the warning set can
    only grow. *)

@@ -36,6 +36,13 @@ type config = {
 
 val default_config : config
 
+val sound_only_config : config
+(** {!default_config} with the unsound filters disabled — the §6.1
+    contract configuration: the surviving warning set may only
+    over-report, so every dynamically witnessable UAF must appear in it.
+    This is the configuration the differential soundness harness
+    ({!Nadroid_corpus.Differential}) checks the pipeline against. *)
+
 (** A recorded sound degradation: the analysis completed with less
     precision (never less coverage) than configured. *)
 type degradation =

@@ -61,17 +61,124 @@ let shuffle_string rng s =
   done;
   Bytes.to_string b
 
+(* -- grammar-aware spans --------------------------------------------------- *)
+
+(* Spans of complete simple statements ([...;] at a fixed brace depth),
+   tracked per depth so statements nested inside anonymous-class bodies
+   are found alongside the enclosing expression statement. String
+   literals are skipped so braces and semicolons inside them don't
+   confuse the depth counter. *)
+let max_depth = 64
+
+let statement_spans (src : string) : (int * int) list =
+  let n = String.length src in
+  let spans = ref [] in
+  let depth = ref 0 in
+  let in_str = ref false in
+  let starts = Array.make max_depth (-1) in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    (if !in_str then begin
+       if Char.equal c '\\' then incr i else if Char.equal c '"' then in_str := false
+     end
+     else
+       match c with
+       | '"' ->
+           in_str := true;
+           if !depth < max_depth && starts.(!depth) < 0 then starts.(!depth) <- !i
+       | '{' ->
+           incr depth;
+           if !depth < max_depth then starts.(!depth) <- -1
+       | '}' ->
+           (* whatever was pending at this depth was a block header, not
+              a simple statement *)
+           if !depth >= 0 && !depth < max_depth then starts.(!depth) <- -1;
+           decr depth
+       | ';' ->
+           if !depth >= 0 && !depth < max_depth && starts.(!depth) >= 0 then begin
+             spans := (starts.(!depth), !i - starts.(!depth) + 1) :: !spans;
+             starts.(!depth) <- -1
+           end
+       | ' ' | '\n' | '\t' | '\r' -> ()
+       | _ -> if !depth >= 0 && !depth < max_depth && starts.(!depth) < 0 then starts.(!depth) <- !i);
+    incr i
+  done;
+  List.rev !spans
+
+(* Span from keyword [kw] at [start] through the matching close brace of
+   the first block it opens; [None] when the braces never balance. *)
+let block_span (src : string) ~start : (int * int) option =
+  let n = String.length src in
+  let i = ref start and depth = ref 0 and opened = ref false and stop = ref (-1) in
+  let in_str = ref false in
+  while !stop < 0 && !i < n do
+    let c = src.[!i] in
+    (if !in_str then begin
+       if Char.equal c '\\' then incr i else if Char.equal c '"' then in_str := false
+     end
+     else
+       match c with
+       | '"' -> in_str := true
+       | '{' ->
+           opened := true;
+           incr depth
+       | '}' ->
+           decr depth;
+           if !opened && !depth = 0 then stop := !i
+       | _ -> ());
+    incr i
+  done;
+  if !stop < 0 then None else Some (start, !stop - start + 1)
+
+let keywords =
+  [
+    "class"; "extends"; "field"; "method"; "new"; "null"; "if"; "else"; "while"; "return";
+    "void"; "int"; "this"; "true"; "false"; "synchronized";
+  ]
+
+(* Word-boundary replacement of every occurrence of [name]. *)
+let rename_all (src : string) ~name ~repl : string =
+  let n = String.length src and ln = String.length name in
+  let buf = Buffer.create (n + 16) in
+  let i = ref 0 in
+  while !i < n do
+    let bounded =
+      !i + ln <= n
+      && String.equal (String.sub src !i ln) name
+      && (!i = 0 || not (is_ident_char src.[!i - 1]))
+      && (!i + ln = n || not (is_ident_char src.[!i + ln]))
+    in
+    if bounded then begin
+      Buffer.add_string buf repl;
+      i := !i + ln
+    end
+    else begin
+      Buffer.add_char buf src.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
 (* Mutate a source; returns the mutant and a replayable description of
-   the operation. Falls back to truncation when the chosen operation has
-   no eligible target. *)
+   the operation. The first five operations are byte-level (most mutants
+   land as frontend diagnostics); the last four are grammar-aware —
+   they move or remove whole syntactic units, so the mutant usually
+   still parses and exercises the phases *behind* the parser. Falls back
+   to truncation when the chosen operation has no eligible target. *)
 let mutate (rng : Random.State.t) (src : string) : string * string =
   let truncate () =
     let pos = Random.State.int rng (String.length src + 1) in
     (String.sub src 0 pos, Printf.sprintf "truncate@%d" pos)
   in
+  let keyword_spans kw =
+    List.filter
+      (fun (s, l) -> l = String.length kw && String.equal (String.sub src s l) kw)
+      (tokens src)
+  in
   if String.length src = 0 then (src, "empty")
   else
-    match Random.State.int rng 5 with
+    match Random.State.int rng 10 with
     | 0 -> truncate ()
     | 1 -> (
         (* delete a token *)
@@ -96,7 +203,7 @@ let mutate (rng : Random.State.t) (src : string) : string * string =
             (splice src ~start ~len (shuffle_string rng (String.sub src start len)),
              Printf.sprintf "scramble@%d+%d" start len)
         | None -> truncate ())
-    | _ -> (
+    | 4 -> (
         (* flip a brace/paren to a random other delimiter *)
         let delims =
           List.filter
@@ -109,6 +216,57 @@ let mutate (rng : Random.State.t) (src : string) : string * string =
               match Random.State.int rng 4 with 0 -> "{" | 1 -> "}" | 2 -> "(" | _ -> ")"
             in
             (splice src ~start ~len:1 repl, Printf.sprintf "flip@%d:%s" start repl)
+        | None -> truncate ())
+    | 5 | 6 -> (
+        (* swap two disjoint statements: reorders operations across
+           callbacks without breaking the grammar *)
+        let spans = statement_spans src in
+        let pairs =
+          List.concat_map
+            (fun (s1, l1) ->
+              List.filter_map
+                (fun (s2, l2) -> if s1 + l1 <= s2 then Some ((s1, l1), (s2, l2)) else None)
+                spans)
+            spans
+        in
+        match pick rng pairs with
+        | Some ((s1, l1), (s2, l2)) ->
+            let a = String.sub src s1 l1 and b = String.sub src s2 l2 in
+            let m = splice src ~start:s2 ~len:l2 a in
+            (splice m ~start:s1 ~len:l1 b, Printf.sprintf "swap@%d+%d,%d+%d" s1 l1 s2 l2)
+        | None -> truncate ())
+    | 7 -> (
+        (* rename one identifier consistently at word boundaries: the
+           mutant parses; name resolution decides its fate *)
+        let names =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (s, l) ->
+                 if l >= 2 && is_letter src.[s] then
+                   let name = String.sub src s l in
+                   if List.mem name keywords then None else Some name
+                 else None)
+               (tokens src))
+        in
+        match pick rng names with
+        | Some name ->
+            (rename_all src ~name ~repl:(name ^ "q"), Printf.sprintf "rename:%s" name)
+        | None -> truncate ())
+    | 8 -> (
+        (* drop a whole method *)
+        match pick rng (keyword_spans "method") with
+        | Some (start, _) -> (
+            match block_span src ~start with
+            | Some (s, l) -> (splice src ~start:s ~len:l "", Printf.sprintf "dropmethod@%d+%d" s l)
+            | None -> truncate ())
+        | None -> truncate ())
+    | _ -> (
+        (* drop a whole class *)
+        match pick rng (keyword_spans "class") with
+        | Some (start, _) -> (
+            match block_span src ~start with
+            | Some (s, l) -> (splice src ~start:s ~len:l "", Printf.sprintf "dropclass@%d+%d" s l)
+            | None -> truncate ())
         | None -> truncate ())
 
 (* -- harness -------------------------------------------------------------- *)
@@ -224,9 +382,15 @@ let run ?jobs ?config ?(deadline = 10.0) ~seed ~mutants (apps : Corpus.app list)
 let pp_failure ppf f =
   Fmt.pf ppf "mutant #%d of %s (%s): %s" f.f_index f.f_app f.f_op f.f_what
 
+let parse_clean_pct s =
+  if s.s_mutants = 0 then 0.0
+  else 100.0 *. float_of_int (s.s_mutants - s.s_frontend) /. float_of_int s.s_mutants
+
 let pp_summary ppf s =
-  Fmt.pf ppf "fuzzed %d mutant(s) in %.1fs: %d clean, %d frontend diagnostic(s), %d budget@\n"
-    s.s_mutants s.s_elapsed s.s_clean s.s_frontend s.s_budget;
+  Fmt.pf ppf
+    "fuzzed %d mutant(s) in %.1fs: %d clean, %d frontend diagnostic(s), %d budget \
+     (%.1f%% parse-clean)@\n"
+    s.s_mutants s.s_elapsed s.s_clean s.s_frontend s.s_budget (parse_clean_pct s);
   List.iter (fun f -> Fmt.pf ppf "UNCAUGHT  %a@\n" pp_failure f) s.s_uncaught;
   List.iter (fun f -> Fmt.pf ppf "OVERRUN   %a@\n" pp_failure f) s.s_overruns;
   if failed s then

@@ -4,9 +4,13 @@
     [Internal] fault or escaped exception, never past its deadline. *)
 
 val mutate : Random.State.t -> string -> string * string
-(** One random mutation (byte truncation, token deletion/duplication,
-    identifier scrambling, brace/paren flip); returns the mutant and a
-    short description of the operation applied. *)
+(** One random mutation; returns the mutant and a short description of
+    the operation applied. Byte-level operations (truncation, token
+    deletion/duplication, identifier scrambling, brace/paren flip)
+    mostly stress the parser; grammar-aware operations (swapping two
+    disjoint statements, renaming one identifier consistently at word
+    boundaries, dropping a whole method or class) usually keep the
+    mutant parseable and so exercise the phases behind the frontend. *)
 
 type failure = {
   f_app : string;
@@ -26,6 +30,11 @@ type summary = {
 }
 
 val failed : summary -> bool
+
+val parse_clean_pct : summary -> float
+(** Percentage of mutants that made it past the frontend — the share of
+    the fuzz budget actually exercising threadification, detection and
+    filtering rather than the parser. *)
 
 val default_pta_steps : int
 (** PTA step ceiling used by the default fuzz config — far above the

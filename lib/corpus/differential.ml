@@ -1,0 +1,331 @@
+(* Differential soundness harness.
+
+   For each {!Synth}-generated app the harness cross-checks the static
+   pipeline, run in its sound-filters-only configuration, against the
+   schedule explorer as a dynamic oracle:
+
+   - any NPE witnessed by the explorer whose use site matches no
+     surviving sound-config warning ([Explorer.npe_matches]) is a
+     soundness counterexample — the §6.1 contract says sound filters
+     may only over-report;
+   - any embedded ground-truth pattern ({!Spec.seeded}) expected to
+     survive the sound filters (a true bug, a surviving false positive,
+     or an idiom only an *unsound* filter should prune) whose field
+     carries no sound-config warning is likewise a counterexample;
+   - each unsound filter's kills on the sound survivors are scored
+     against ground truth and the dynamic witnesses: a killed warning
+     that is a seeded true bug or was witnessed as an NPE is a bad kill,
+     giving a measured precision for RHB/CHB/PHB/MA/UR/TT instead of
+     the paper's anecdotal table.
+
+   Counterexamples are shrunk by greedy structure deletion (first
+   {!Synth.shrink_steps} candidate that still exhibits a discrepancy,
+   to a fixpoint — deterministic), and every verdict carries the app
+   seed, so a failure replays with [nadroid difftest --seed S --apps 1].
+
+   The fan-out over app seeds reuses [Parallel.map_result], so a crash
+   while checking one app costs that app's slot, not the batch. *)
+
+module Pipeline = Nadroid_core.Pipeline
+module Filters = Nadroid_core.Filters
+module Detect = Nadroid_core.Detect
+module Fault = Nadroid_core.Fault
+module Explorer = Nadroid_dynamic.Explorer
+module Interp = Nadroid_dynamic.Interp
+
+type oracle = {
+  dr_runs : int;  (** uniform random walks per app *)
+  dr_guided : int;  (** guided walks per surviving warning *)
+  dr_steps : int;  (** max schedule steps per walk *)
+}
+
+let default_oracle = { dr_runs = 24; dr_guided = 4; dr_steps = 48 }
+
+type weaken = W_none | W_invert_ig
+
+let weaken_of_string = function
+  | "none" -> Some W_none
+  | "invert-ig" -> Some W_invert_ig
+  | _ -> None
+
+type discrepancy =
+  | D_missed_npe of { mn_site : string; mn_loc : string }
+      (** dynamically witnessed NPE with no matching sound warning *)
+  | D_dropped_seed of { ds_pattern : string; ds_field : string }
+      (** seeded ground truth pruned by a sound filter *)
+
+let pp_discrepancy ppf = function
+  | D_missed_npe { mn_site; mn_loc } ->
+      Fmt.pf ppf "NPE at %s (%s) matches no sound-config warning" mn_site mn_loc
+  | D_dropped_seed { ds_pattern; ds_field } ->
+      Fmt.pf ppf "seeded %s on field %s was pruned by a sound filter" ds_pattern ds_field
+
+type filter_stat = { fs_kills : int; fs_bad : int }
+
+type verdict = {
+  vd_seed : int;
+  vd_warnings : int;  (** surviving sound-config warnings *)
+  vd_npes : int;  (** distinct dynamically witnessed NPE sites *)
+  vd_discrepancies : discrepancy list;
+  vd_filter : (Filters.name * filter_stat) list;
+}
+
+type counterexample = {
+  cx_seed : int;
+  cx_verdict : verdict;  (** verdict on the unshrunk app *)
+  cx_shrunk : Synth.t;
+  cx_shrunk_src : string;
+}
+
+(* -- one app -------------------------------------------------------------- *)
+
+(* The sound warning set the oracle is checked against. [W_invert_ig]
+   models the acceptance-criteria sabotage — IG with its guard check
+   inverted: a pair survives only if real IG would have pruned it, so
+   unguarded true bugs are dropped and the harness must catch them. *)
+let sound_warnings ~weaken (t : Pipeline.t) : Detect.warning list =
+  match weaken with
+  | W_none -> t.Pipeline.after_sound
+  | W_invert_ig ->
+      List.filter_map
+        (fun (w : Detect.warning) ->
+          let pairs =
+            List.filter
+              (fun p ->
+                (not (Filters.prunes t.Pipeline.ctx Filters.MHB w p))
+                && (not (Filters.prunes t.Pipeline.ctx Filters.IA w p))
+                && Filters.prunes t.Pipeline.ctx Filters.IG w p)
+              w.Detect.w_pairs
+          in
+          if pairs = [] then None else Some { w with Detect.w_pairs = pairs })
+        t.Pipeline.potential
+
+(* Distinct NPE sites over the whole walk budget, sorted for
+   determinism (collection order depends on hashing). *)
+let witness prog (warnings : Detect.warning list) ~oracle : Interp.npe list =
+  let seen : (string * int, Interp.npe) Hashtbl.t = Hashtbl.create 16 in
+  let note (n : Interp.npe) =
+    let key = (Fmt.str "%a" Nadroid_ir.Instr.pp_mref n.Interp.npe_mref, n.Interp.npe_instr_id) in
+    if not (Hashtbl.mem seen key) then Hashtbl.add seen key n
+  in
+  let collect (o : Explorer.outcome) = List.iter note o.Explorer.o_npes in
+  for seed = 0 to oracle.dr_runs - 1 do
+    collect (Explorer.random_run ~resume_on_npe:true prog ~seed ~max_steps:oracle.dr_steps)
+  done;
+  List.iter
+    (fun w ->
+      for seed = 0 to oracle.dr_guided - 1 do
+        collect (Explorer.guided_run prog w ~seed ~max_steps:oracle.dr_steps)
+      done)
+    warnings;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) seen []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let field_warned (warnings : Detect.warning list) (sd : Spec.seeded) =
+  List.exists
+    (fun (w : Detect.warning) ->
+      String.equal w.Detect.w_field.Nadroid_lang.Sema.fr_name sd.Spec.sd_field
+      && String.equal w.Detect.w_field.Nadroid_lang.Sema.fr_class sd.Spec.sd_activity)
+    warnings
+
+(* Must this seeded pattern's field still be warned when only the sound
+   filters ran? *)
+let survives_sound (sd : Spec.seeded) =
+  match sd.Spec.sd_expect with
+  | Spec.E_true_bug _ | Spec.E_false_positive _ -> true
+  | Spec.E_filtered f -> List.mem f Filters.unsound
+  | Spec.E_none -> false
+
+let filter_stats (t : Pipeline.t) ~(npes : Interp.npe list) ~(seeded : Spec.seeded list) :
+    (Filters.name * filter_stat) list =
+  let prog = t.Pipeline.prog in
+  let sound = t.Pipeline.after_sound in
+  let true_bug (w : Detect.warning) =
+    List.exists
+      (fun (sd : Spec.seeded) ->
+        (match sd.Spec.sd_expect with Spec.E_true_bug _ -> true | _ -> false)
+        && String.equal w.Detect.w_field.Nadroid_lang.Sema.fr_name sd.Spec.sd_field
+        && String.equal w.Detect.w_field.Nadroid_lang.Sema.fr_class sd.Spec.sd_activity)
+      seeded
+  in
+  List.map
+    (fun f ->
+      let kept = List.map Detect.warning_key (Filters.apply t.Pipeline.ctx [ f ] sound) in
+      let killed = List.filter (fun w -> not (List.mem (Detect.warning_key w) kept)) sound in
+      let bad w =
+        true_bug w || List.exists (fun n -> Explorer.npe_matches prog w n) npes
+      in
+      ( f,
+        {
+          fs_kills = List.length killed;
+          fs_bad = List.length (List.filter bad killed);
+        } ))
+    Filters.unsound
+
+let examine ?(oracle = default_oracle) ?(weaken = W_none) (sy : Synth.t) : verdict =
+  let src, seeded = Synth.render sy in
+  let t = Pipeline.analyze ~config:Pipeline.sound_only_config ~file:(Synth.name sy) src in
+  let prog = t.Pipeline.prog in
+  let sound = sound_warnings ~weaken t in
+  let npes = witness prog sound ~oracle in
+  let missed =
+    List.filter_map
+      (fun (n : Interp.npe) ->
+        if List.exists (fun w -> Explorer.npe_matches prog w n) sound then None
+        else
+          Some
+            (D_missed_npe
+               {
+                 mn_site = Fmt.str "%a" Nadroid_ir.Instr.pp_mref n.Interp.npe_mref;
+                 mn_loc = Fmt.str "%a" Nadroid_lang.Loc.pp n.Interp.npe_loc;
+               }))
+      npes
+  in
+  let dropped =
+    List.filter_map
+      (fun (sd : Spec.seeded) ->
+        if survives_sound sd && not (field_warned sound sd) then
+          Some
+            (D_dropped_seed
+               {
+                 ds_pattern = Spec.pattern_to_string sd.Spec.sd_pattern;
+                 ds_field = sd.Spec.sd_field;
+               })
+        else None)
+      seeded
+  in
+  {
+    vd_seed = sy.Synth.sy_seed;
+    vd_warnings = List.length sound;
+    vd_npes = List.length npes;
+    vd_discrepancies = missed @ dropped;
+    vd_filter = filter_stats t ~npes ~seeded;
+  }
+
+(* Greedy deterministic shrink: take the first one-step deletion that
+   still exhibits a discrepancy, repeat to a fixpoint. *)
+let shrink ?oracle ?weaken (sy : Synth.t) : Synth.t =
+  let bad s = (examine ?oracle ?weaken s).vd_discrepancies <> [] in
+  let rec go s =
+    match List.find_opt bad (Synth.shrink_steps s) with Some s' -> go s' | None -> s
+  in
+  go sy
+
+let check ?oracle ?weaken (sy : Synth.t) : verdict * counterexample option =
+  let v = examine ?oracle ?weaken sy in
+  if v.vd_discrepancies = [] then (v, None)
+  else
+    let shrunk = shrink ?oracle ?weaken sy in
+    let src, _ = Synth.render shrunk in
+    ( v,
+      Some { cx_seed = sy.Synth.sy_seed; cx_verdict = v; cx_shrunk = shrunk; cx_shrunk_src = src }
+    )
+
+(* -- batch ---------------------------------------------------------------- *)
+
+type summary = {
+  su_seed : int;
+  su_apps : int;
+  su_warnings : int;
+  su_npes : int;  (** distinct witnessed NPE sites, summed over apps *)
+  su_counterexamples : counterexample list;
+  su_filter : (Filters.name * filter_stat) list;
+  su_faults : (int * Fault.t) list;  (** (app seed, fault) crash-isolated slots *)
+  su_elapsed : float;
+}
+
+let failed s = s.su_counterexamples <> [] || s.su_faults <> []
+
+(* App [i] of a batch uses seed [seed + i], so any app replays alone
+   with [--seed (seed + i) --apps 1]. *)
+let run ?jobs ?(oracle = default_oracle) ?(weaken = W_none) ~seed ~apps () : summary =
+  if apps <= 0 then invalid_arg "Differential.run: apps must be positive";
+  ignore (Lazy.force Nadroid_lang.Builtins.program);
+  let t0 = Unix.gettimeofday () in
+  let one i = check ~oracle ~weaken (Synth.generate ~seed:(seed + i)) in
+  let results = Nadroid_core.Parallel.map_result ?jobs one (List.init apps Fun.id) in
+  let zero = { fs_kills = 0; fs_bad = 0 } in
+  let base =
+    {
+      su_seed = seed;
+      su_apps = apps;
+      su_warnings = 0;
+      su_npes = 0;
+      su_counterexamples = [];
+      su_filter = List.map (fun f -> (f, zero)) Filters.unsound;
+      su_faults = [];
+      su_elapsed = 0.0;
+    }
+  in
+  let s =
+    List.fold_left
+      (fun (i, s) r ->
+        let s =
+          match r with
+          | Ok (v, cx) ->
+              {
+                s with
+                su_warnings = s.su_warnings + v.vd_warnings;
+                su_npes = s.su_npes + v.vd_npes;
+                su_counterexamples =
+                  (match cx with Some c -> c :: s.su_counterexamples | None -> s.su_counterexamples);
+                su_filter =
+                  List.map
+                    (fun (f, st) ->
+                      let a = List.assoc f v.vd_filter in
+                      (f, { fs_kills = st.fs_kills + a.fs_kills; fs_bad = st.fs_bad + a.fs_bad }))
+                    s.su_filter;
+              }
+          | Error e -> { s with su_faults = (seed + i, Fault.of_exn e) :: s.su_faults }
+        in
+        (i + 1, s))
+      (0, base) results
+    |> snd
+  in
+  {
+    s with
+    su_counterexamples = List.rev s.su_counterexamples;
+    su_faults = List.rev s.su_faults;
+    su_elapsed = Unix.gettimeofday () -. t0;
+  }
+
+(* -- reporting ------------------------------------------------------------ *)
+
+let pp_counterexample ppf cx =
+  Fmt.pf ppf "app seed %d (%d discrepanc%s; replay: nadroid difftest --seed %d --apps 1)@\n"
+    cx.cx_seed
+    (List.length cx.cx_verdict.vd_discrepancies)
+    (if List.length cx.cx_verdict.vd_discrepancies = 1 then "y" else "ies")
+    cx.cx_seed;
+  List.iter
+    (fun d -> Fmt.pf ppf "  %a@\n" pp_discrepancy d)
+    cx.cx_verdict.vd_discrepancies;
+  Fmt.pf ppf "  shrunk to size %d:@\n" (Synth.size cx.cx_shrunk);
+  List.iter
+    (fun l -> Fmt.pf ppf "  | %s@\n" l)
+    (String.split_on_char '\n' (String.trim cx.cx_shrunk_src))
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "difftest: %d app(s) from seed %d in %.1fs: %d sound warning(s), %d distinct NPE site(s) \
+     witnessed@\n"
+    s.su_apps s.su_seed s.su_elapsed s.su_warnings s.su_npes;
+  Fmt.pf ppf "unsound-filter precision against ground truth + dynamic witnesses:@\n";
+  List.iter
+    (fun (f, st) ->
+      let precision =
+        if st.fs_kills = 0 then 100.0
+        else 100.0 *. float_of_int (st.fs_kills - st.fs_bad) /. float_of_int st.fs_kills
+      in
+      Fmt.pf ppf "  %-4s kills %4d  bad %3d  precision %5.1f%%@\n"
+        (Filters.name_to_string f) st.fs_kills st.fs_bad precision)
+    s.su_filter;
+  List.iter (fun cx -> Fmt.pf ppf "COUNTEREXAMPLE %a" pp_counterexample cx) s.su_counterexamples;
+  List.iter
+    (fun (seed, f) -> Fmt.pf ppf "FAULT app seed %d: %s@\n" seed (Fault.to_string f))
+    s.su_faults;
+  if failed s then
+    Fmt.pf ppf "FAILED: %d counterexample(s), %d fault(s)@\n"
+      (List.length s.su_counterexamples) (List.length s.su_faults)
+  else Fmt.pf ppf "OK: no soundness counterexamples@\n"

@@ -1,0 +1,89 @@
+(** Differential soundness harness: cross-check the static pipeline's
+    sound-filters-only configuration against the schedule explorer as a
+    dynamic oracle, over {!Synth}-generated apps.
+
+    The §6.1 contract says the detector plus sound filters may only
+    over-report. The harness falsifies it two ways: a dynamically
+    witnessed NPE whose use site matches no surviving sound-config
+    warning, or an embedded {!Spec.seeded} ground-truth pattern that
+    should survive the sound filters but carries no warning. Either is a
+    counterexample; counterexamples are shrunk greedily and carry their
+    replayable app seed. The same dynamic witnesses also score each
+    unsound filter's kills (a killed warning that is a seeded true bug
+    or was witnessed dynamically is a bad kill), measuring
+    RHB/CHB/PHB/MA/UR/TT precision. *)
+
+type oracle = {
+  dr_runs : int;  (** uniform random walks per app *)
+  dr_guided : int;  (** guided walks per surviving warning *)
+  dr_steps : int;  (** max schedule steps per walk *)
+}
+
+val default_oracle : oracle
+
+(** Deliberate filter sabotage, for validating that the harness has
+    teeth: [W_invert_ig] replaces IG by its guard-inverted negation (a
+    pair survives only if real IG would have pruned it), which must be
+    caught as a counterexample. *)
+type weaken = W_none | W_invert_ig
+
+val weaken_of_string : string -> weaken option
+(** ["none"] / ["invert-ig"]. *)
+
+type discrepancy =
+  | D_missed_npe of { mn_site : string; mn_loc : string }
+  | D_dropped_seed of { ds_pattern : string; ds_field : string }
+
+val pp_discrepancy : discrepancy Fmt.t
+
+type filter_stat = { fs_kills : int; fs_bad : int }
+
+type verdict = {
+  vd_seed : int;
+  vd_warnings : int;  (** surviving sound-config warnings *)
+  vd_npes : int;  (** distinct dynamically witnessed NPE sites *)
+  vd_discrepancies : discrepancy list;
+  vd_filter : (Nadroid_core.Filters.name * filter_stat) list;
+}
+
+type counterexample = {
+  cx_seed : int;
+  cx_verdict : verdict;  (** verdict on the unshrunk app *)
+  cx_shrunk : Synth.t;
+  cx_shrunk_src : string;
+}
+
+val examine : ?oracle:oracle -> ?weaken:weaken -> Synth.t -> verdict
+(** Static sound-config run + dynamic oracle for one app. Deterministic. *)
+
+val shrink : ?oracle:oracle -> ?weaken:weaken -> Synth.t -> Synth.t
+(** Greedy deterministic shrink: repeatedly take the first
+    {!Synth.shrink_steps} candidate that still exhibits a discrepancy.
+    Returns the input when it exhibits none. *)
+
+val check : ?oracle:oracle -> ?weaken:weaken -> Synth.t -> verdict * counterexample option
+(** {!examine}, shrinking into a counterexample when discrepancies are
+    found. *)
+
+type summary = {
+  su_seed : int;
+  su_apps : int;
+  su_warnings : int;
+  su_npes : int;
+  su_counterexamples : counterexample list;
+  su_filter : (Nadroid_core.Filters.name * filter_stat) list;
+  su_faults : (int * Nadroid_core.Fault.t) list;
+  su_elapsed : float;
+}
+
+val failed : summary -> bool
+
+val run :
+  ?jobs:int -> ?oracle:oracle -> ?weaken:weaken -> seed:int -> apps:int -> unit -> summary
+(** Check [apps] generated apps (app [i] uses seed [seed + i], so any
+    failure replays alone with [--seed (seed+i) --apps 1]) on a
+    crash-isolated domain pool ([Parallel.map_result]). Deterministic in
+    everything but [su_elapsed]. *)
+
+val pp_counterexample : counterexample Fmt.t
+val pp_summary : summary Fmt.t

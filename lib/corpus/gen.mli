@@ -8,3 +8,15 @@
     deterministic. *)
 
 val generate : Spec.t -> string * Spec.seeded list
+
+val data_class : string
+(** The shared [Data] payload class every generated source defines
+    exactly once; exposed so other generators ({!Synth}) can emit it
+    when they build sources without going through {!generate}. *)
+
+val click_listener : view:int -> body:string -> string
+(** A click listener on view [view], as registered in [onStart]. *)
+
+val service_conn : connected:string -> disconnected:string -> string
+(** A [bindService] call with the two connection callback bodies, as
+    registered in [onCreate]. *)

@@ -246,7 +246,10 @@ and handle_api (w : t) ~(recv : Value.t) ~(ms : Sema.method_sig) ~(args : Value.
               match Hashtbl.find_opt w.views (a, id) with
               | Some v -> v
               | None ->
-                  let v = Value.Vobj (Heap.alloc w.heap ~cls:"View") in
+                  let vid = Heap.alloc w.heap ~cls:"View" in
+                  (* remember the owning activity: its views die with it *)
+                  Heap.set_field w.heap vid ~key:"View.owner" (Value.Vint a);
+                  let v = Value.Vobj vid in
                   Hashtbl.replace w.views (a, id) v;
                   v)
           | _, _ -> Value.Vnull)
@@ -417,6 +420,21 @@ let view_enabled w view =
   | Value.Vobj id -> not (Value.equal (Heap.get_field w.heap id ~key:"View.enabled") (Value.Vbool false))
   | Value.Vnull | Value.Vint _ | Value.Vbool _ | Value.Vstr _ -> true
 
+(* UI events are deliverable only while the view's *owning* activity has
+   its UI enabled — a destroyed or finished activity's view hierarchy is
+   gone, exactly the fact MHB-Lifecycle's onDestroy-last rule rests on.
+   Views without a recorded owner fall back to the global check. *)
+let view_owner_ui w view =
+  match view with
+  | Value.Vobj vid -> (
+      match Heap.get_field w.heap vid ~key:"View.owner" with
+      | Value.Vint a -> (
+          match List.find_opt (fun ac -> ac.act_obj = a) w.activities with
+          | Some ac -> Lifecycle.ui_enabled ac.act_state && not ac.act_finished
+          | None -> ui_possible w)
+      | _ -> ui_possible w)
+  | Value.Vnull | Value.Vint _ | Value.Vbool _ | Value.Vstr _ -> ui_possible w
+
 let enabled_actions (w : t) : action list =
   if w.crashed then []
   else if w.looper_fiber <> None then
@@ -463,14 +481,19 @@ let enabled_actions (w : t) : action list =
         w.activities
     in
     let idx l f = List.mapi (fun i _ -> f i) l in
-    let ui = ui_possible w in
     let clicks =
-      if ui then
-        List.concat
-          (List.mapi (fun i (view, _) -> if view_enabled w view then [ A_click i ] else []) w.clicks)
-      else []
+      List.concat
+        (List.mapi
+           (fun i (view, _) ->
+             if view_owner_ui w view && view_enabled w view then [ A_click i ] else [])
+           w.clicks)
     in
-    let long_clicks = if ui then idx w.long_clicks (fun i -> A_long_click i) else [] in
+    let long_clicks =
+      List.concat
+        (List.mapi
+           (fun i (view, _) -> if view_owner_ui w view then [ A_long_click i ] else [])
+           w.long_clicks)
+    in
     let broadcasts = idx w.receivers (fun i -> A_broadcast_dynamic i) in
     let manifest = idx w.manifest_receivers (fun i -> A_broadcast_manifest i) in
     let conns =

@@ -42,4 +42,15 @@ done
 #    clean runs or structured frontend/budget faults (exit 0 iff so).
 dune exec --no-print-directory bin/nadroid.exe -- fuzz --seed 42 --mutants 200
 
+# 5. Differential soundness gate: 100 generated apps, the sound-config
+#    static pipeline cross-checked against the schedule explorer; any
+#    dynamically witnessed NPE without a matching warning (or dropped
+#    seeded pair) fails with exit 4. Fixed seed, deterministic.
+dune exec --no-print-directory bin/nadroid.exe -- difftest --seed 42 --apps 100
+
+# 6. Golden-report regression: the committed canonical reports for the
+#    27-app corpus must match a fresh analysis byte-for-byte
+#    (regenerate deliberately with `nadroid golden --bless`).
+dune exec --no-print-directory bin/nadroid.exe -- golden --dir test/golden
+
 echo "ci: ok"

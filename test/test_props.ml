@@ -155,6 +155,43 @@ let analyze_all_is_jobs_invariant =
       in
       norm (Corpus.analyze_all ~jobs:1 apps) = norm (Corpus.analyze_all ~jobs:4 apps))
 
+module Synth = Nadroid_corpus.Synth
+module Differential = Nadroid_corpus.Differential
+
+(* §6.1 soundness on arbitrary generated apps: the sound-config warning
+   set never misses a dynamically witnessed NPE, and never drops a
+   seeded ground-truth pair that only an unsound filter may remove. *)
+let sound_filters_never_drop_witnessed =
+  QCheck2.Test.make ~name:"sound filters never drop a witnessed pair on generated apps"
+    ~count:15
+    QCheck2.Gen.(int_bound 5000)
+    (fun seed ->
+      let oracle = { Differential.dr_runs = 10; dr_guided = 2; dr_steps = 40 } in
+      let v = Differential.examine ~oracle (Synth.generate ~seed) in
+      v.Differential.vd_discrepancies = [])
+
+(* Sound degradation extends to synthesized inputs: starving the PTA
+   budget down to a k=0 fixpoint may only add warnings, never lose one
+   the full-precision run reports. *)
+let degraded_superset_on_synth =
+  QCheck2.Test.make ~name:"budget degradation keeps a warning superset on generated apps"
+    ~count:10
+    QCheck2.Gen.(int_bound 5000)
+    (fun seed ->
+      let src, _ = Synth.render (Synth.generate ~seed) in
+      let full = Pipeline.analyze ~file:"synth" src in
+      let prog = full.Pipeline.prog in
+      let k0_steps = (Nadroid_analysis.Pta.run ~k:0 prog).Nadroid_analysis.Pta.steps in
+      let config =
+        {
+          Pipeline.default_config with
+          Pipeline.budgets = { Pipeline.no_budgets with Pipeline.pta_steps = Some k0_steps };
+        }
+      in
+      let degraded = Pipeline.analyze_prog ~config prog in
+      let keys t = List.map Detect.warning_key t.Pipeline.after_unsound in
+      List.for_all (fun k -> List.mem k (keys degraded)) (keys full))
+
 let suite =
   [
     ( "composition",
@@ -164,4 +201,7 @@ let suite =
     ( "join-and-parallel",
       List.map QCheck_alcotest.to_alcotest
         [ indexed_join_equals_naive; analyze_all_is_jobs_invariant ] );
+    ( "differential-props",
+      List.map QCheck_alcotest.to_alcotest
+        [ sound_filters_never_drop_witnessed; degraded_superset_on_synth ] );
   ]
