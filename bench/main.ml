@@ -7,6 +7,7 @@
      dune exec bench/main.exe table2     -- Table 2 (false-negative study)
      dune exec bench/main.exe table3     -- Table 3 (DEvA comparison)
      dune exec bench/main.exe timing     -- §8.8 phase split + Bechamel
+     dune exec bench/main.exe perf       -- cold/warm/reference batches (BENCH_4.json)
      dune exec bench/main.exe ablation   -- design-choice ablations
 
    Expected shapes (not absolute numbers — see DESIGN.md §2) are quoted
@@ -19,6 +20,20 @@ module Filters = Nadroid_core.Filters
 module Classify = Nadroid_core.Classify
 module Threadify = Nadroid_core.Threadify
 module Fault = Nadroid_core.Fault
+module Cache = Nadroid_core.Cache
+
+(* Corpus batch through the analysis cache (crash-isolated, like
+   {!Corpus.analyze_all}); results are cache entries. *)
+let analyze_all_cached ?config ~jobs ~dir (apps : Corpus.app list) :
+    (Corpus.app * (Cache.entry * Cache.outcome, Fault.t) result) list =
+  ignore (Lazy.force Nadroid_lang.Builtins.program);
+  List.map2
+    (fun app r -> (app, Result.map_error Fault.of_exn r))
+    apps
+    (Nadroid_core.Parallel.map_result ~jobs
+       (fun (app : Corpus.app) ->
+         Cache.analyze ?config ~dir ~file:app.Corpus.name app.Corpus.source)
+       apps)
 
 (* ---------------------------------------------------------------- *)
 (* Table 1                                                            *)
@@ -284,25 +299,29 @@ let table3 () =
 
 (* Machine-readable bench point: per-app phase metrics plus aggregate
    totals, one JSON document on stdout. The per-phase times sum to the
-   measured per-app wall time (create_ctx included under filtering). *)
-let timing_json ~jobs ~elapsed analyzed =
+   measured per-app wall time (create_ctx included under filtering).
+   Works on cache entries so the cached and uncached paths share it;
+   served-from-cache entries report the producing (cold) run's
+   metrics. *)
+let timing_json ~jobs ~elapsed entries =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf (Printf.sprintf "{\"jobs\":%d,\"apps\":[" jobs);
   List.iteri
-    (fun i ((app : Corpus.app), (t : Pipeline.t)) ->
+    (fun i ((app : Corpus.app), (e : Cache.entry)) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Nadroid_core.Report.metrics_to_json ~name:app.Corpus.name t.Pipeline.metrics))
-    analyzed;
+        (Nadroid_core.Report.metrics_to_json ~name:app.Corpus.name e.Cache.e_metrics))
+    entries;
   let m, d, f, sum, wall =
     List.fold_left
-      (fun (m, d, f, sum, wall) ((_ : Corpus.app), (t : Pipeline.t)) ->
-        ( m +. t.Pipeline.timings.Pipeline.t_modeling,
-          d +. t.Pipeline.timings.Pipeline.t_detection,
-          f +. t.Pipeline.timings.Pipeline.t_filtering,
-          sum +. Pipeline.phase_sum t.Pipeline.metrics,
-          wall +. t.Pipeline.metrics.Pipeline.m_wall ))
-      (0.0, 0.0, 0.0, 0.0, 0.0) analyzed
+      (fun (m, d, f, sum, wall) ((_ : Corpus.app), (e : Cache.entry)) ->
+        let tm = Pipeline.timings_of_metrics e.Cache.e_metrics in
+        ( m +. tm.Pipeline.t_modeling,
+          d +. tm.Pipeline.t_detection,
+          f +. tm.Pipeline.t_filtering,
+          sum +. Pipeline.phase_sum e.Cache.e_metrics,
+          wall +. e.Cache.e_metrics.Pipeline.m_wall ))
+      (0.0, 0.0, 0.0, 0.0, 0.0) entries
   in
   Buffer.add_string buf
     (Printf.sprintf
@@ -310,13 +329,22 @@ let timing_json ~jobs ~elapsed analyzed =
        m d f sum wall elapsed);
   print_endline (Buffer.contents buf)
 
-let timing ~jobs ~json () =
+let timing ~jobs ~json ~cache () =
   (* [elapsed] is the batch wall clock; under [jobs] > 1 the per-app wall
      times overlap, so their sum exceeds it. *)
   let t0 = Unix.gettimeofday () in
   let analyzed =
-    Eval.keep_ok ~what:"timing" ~name:Eval.app_name
-      (Corpus.analyze_all ~jobs (Lazy.force Corpus.all))
+    match cache with
+    | Some dir ->
+        List.map
+          (fun (app, (e, _outcome)) -> (app, e))
+          (Eval.keep_ok ~what:"timing" ~name:Eval.app_name
+             (analyze_all_cached ~jobs ~dir (Lazy.force Corpus.all)))
+    | None ->
+        List.map
+          (fun (app, t) -> (app, Cache.entry_of_result t))
+          (Eval.keep_ok ~what:"timing" ~name:Eval.app_name
+             (Corpus.analyze_all ~jobs (Lazy.force Corpus.all)))
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   if json then timing_json ~jobs ~elapsed analyzed
@@ -325,10 +353,11 @@ let timing ~jobs ~json () =
     "Analysis execution time (§8.8: modeling ~1.2%, detection ~95.7%, filtering ~3.1%)";
   let m = ref 0.0 and d = ref 0.0 and f = ref 0.0 in
   List.iter
-    (fun ((_ : Corpus.app), (t : Pipeline.t)) ->
-      m := !m +. t.Pipeline.timings.Pipeline.t_modeling;
-      d := !d +. t.Pipeline.timings.Pipeline.t_detection;
-      f := !f +. t.Pipeline.timings.Pipeline.t_filtering)
+    (fun ((_ : Corpus.app), (e : Cache.entry)) ->
+      let tm = Pipeline.timings_of_metrics e.Cache.e_metrics in
+      m := !m +. tm.Pipeline.t_modeling;
+      d := !d +. tm.Pipeline.t_detection;
+      f := !f +. tm.Pipeline.t_filtering)
     analyzed;
   let total = !m +. !d +. !f in
   Printf.printf "  modeling  : %8.3f s  (%5.2f%%)\n" !m (100.0 *. !m /. total);
@@ -374,6 +403,137 @@ let timing ~jobs ~json () =
       | Some (t :: _) -> Printf.printf "  %-32s %12.0f ns/run\n" name t
       | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
     results
+  end
+
+(* ---------------------------------------------------------------- *)
+(* perf: cold vs warm vs reference                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* Flat directory of cache entries; refuses to recurse. *)
+let rm_cache_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let bench_json_file = "BENCH_4.json"
+
+(* Three timed full-corpus batches: cold (worklist solver, empty cache
+   dir), warm (same dir — every analysis a cache hit) and reference
+   (the snapshot re-iterate-all solver, uncached). Under --json the
+   document also lands in BENCH_4.json. *)
+let perf ~jobs ~json ~cache_dir () =
+  let apps = Lazy.force Corpus.all in
+  let dir = Filename.concat cache_dir (Printf.sprintf "perf.%d" (Unix.getpid ())) in
+  rm_cache_dir dir;
+  let cached_batch what =
+    let t0 = Unix.gettimeofday () in
+    let rs = Eval.keep_ok ~what ~name:Eval.app_name (analyze_all_cached ~jobs ~dir apps) in
+    (rs, Unix.gettimeofday () -. t0)
+  in
+  let cold_raw, cold_elapsed = cached_batch "perf-cold" in
+  let warm_raw, warm_elapsed = cached_batch "perf-warm" in
+  let ref_config =
+    { Pipeline.default_config with Pipeline.solver = Nadroid_analysis.Pta.Reference }
+  in
+  let t0 = Unix.gettimeofday () in
+  let reference =
+    List.map
+      (fun (app, t) -> (app, Cache.entry_of_result t))
+      (Eval.keep_ok ~what:"perf-reference" ~name:Eval.app_name
+         (Corpus.analyze_all ~config:ref_config ~jobs apps))
+  in
+  let ref_elapsed = Unix.gettimeofday () -. t0 in
+  rm_cache_dir dir;
+  let cold = List.map (fun (app, (e, _)) -> (app, e)) cold_raw in
+  let warm_hits =
+    List.length (List.filter (fun (_, (_, o)) -> o = Cache.Hit) warm_raw)
+  in
+  let sums entries =
+    List.fold_left
+      (fun (w, v, s) ((_ : Corpus.app), (e : Cache.entry)) ->
+        ( w +. e.Cache.e_metrics.Pipeline.m_wall,
+          v + e.Cache.e_metrics.Pipeline.m_pta_visits,
+          s + e.Cache.e_metrics.Pipeline.m_pta_steps ))
+      (0.0, 0, 0) entries
+  in
+  let cold_wall, cold_visits, cold_steps = sums cold in
+  let ref_wall, ref_visits, ref_steps = sums reference in
+  let speedup a b = if b > 0.0 then a /. b else 0.0 in
+  let find_ref (app : Corpus.app) =
+    List.find_opt (fun ((a : Corpus.app), _) -> String.equal a.Corpus.name app.Corpus.name)
+      reference
+  in
+  if json then begin
+    let buf = Buffer.create 8192 in
+    Buffer.add_string buf (Printf.sprintf "{\"jobs\":%d,\"apps\":[" jobs);
+    List.iteri
+      (fun i ((app : Corpus.app), (e : Cache.entry)) ->
+        if i > 0 then Buffer.add_char buf ',';
+        let rw, rv, rs =
+          match find_ref app with
+          | Some (_, r) ->
+              ( r.Cache.e_metrics.Pipeline.m_wall,
+                r.Cache.e_metrics.Pipeline.m_pta_visits,
+                r.Cache.e_metrics.Pipeline.m_pta_steps )
+          | None -> (0.0, 0, 0)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":%S,\"cold_wall\":%.6f,\"ref_wall\":%.6f,\"pta_visits\":%d,\"pta_visits_ref\":%d,\"pta_steps\":%d,\"pta_steps_ref\":%d}"
+             app.Corpus.name e.Cache.e_metrics.Pipeline.m_wall rw
+             e.Cache.e_metrics.Pipeline.m_pta_visits rv
+             e.Cache.e_metrics.Pipeline.m_pta_steps rs))
+      cold;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "],\"totals\":{\"apps\":%d,\"warm_hits\":%d,\"cold_elapsed\":%.6f,\"warm_elapsed\":%.6f,\"reference_elapsed\":%.6f,\"cold_wall\":%.6f,\"reference_wall\":%.6f,\"speedup_cold_vs_reference\":%.3f,\"speedup_warm_vs_cold\":%.1f,\"pta_visits\":%d,\"pta_visits_ref\":%d,\"pta_steps\":%d,\"pta_steps_ref\":%d}}"
+         (List.length cold) warm_hits cold_elapsed warm_elapsed ref_elapsed cold_wall ref_wall
+         (speedup ref_elapsed cold_elapsed)
+         (speedup cold_elapsed warm_elapsed)
+         cold_visits ref_visits cold_steps ref_steps);
+    let doc = Buffer.contents buf in
+    let oc = open_out_bin bench_json_file in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc);
+    print_endline doc
+  end
+  else begin
+    Eval.section
+      "Performance: cold (worklist + cache fill) vs warm (cache hits) vs reference solver";
+    let rows =
+      List.map
+        (fun ((app : Corpus.app), (e : Cache.entry)) ->
+          let rw, rv, rs =
+            match find_ref app with
+            | Some (_, r) ->
+                ( r.Cache.e_metrics.Pipeline.m_wall,
+                  r.Cache.e_metrics.Pipeline.m_pta_visits,
+                  r.Cache.e_metrics.Pipeline.m_pta_steps )
+            | None -> (0.0, 0, 0)
+          in
+          [
+            app.Corpus.name;
+            Printf.sprintf "%.4f" e.Cache.e_metrics.Pipeline.m_wall;
+            Printf.sprintf "%.4f" rw;
+            string_of_int e.Cache.e_metrics.Pipeline.m_pta_visits;
+            string_of_int rv;
+            string_of_int e.Cache.e_metrics.Pipeline.m_pta_steps;
+            string_of_int rs;
+          ])
+        cold
+    in
+    Eval.print_table
+      ~header:[ "app"; "cold s"; "ref s"; "visits"; "visits-ref"; "steps"; "steps-ref" ]
+      rows;
+    Printf.printf
+      "\nBatch elapsed (%d job%s): cold %.3f s, warm %.3f s (%d/%d hits), reference %.3f s.\n"
+      jobs (if jobs = 1 then "" else "s")
+      cold_elapsed warm_elapsed warm_hits (List.length cold) ref_elapsed;
+    Printf.printf
+      "Speedups: cold vs reference %.2fx (PTA visits %d -> %d, steps %d -> %d); warm vs cold %.0fx.\n"
+      (speedup ref_elapsed cold_elapsed)
+      ref_visits cold_visits ref_steps cold_steps
+      (speedup cold_elapsed warm_elapsed)
   end
 
 (* ---------------------------------------------------------------- *)
@@ -552,15 +712,30 @@ let extension () =
 
 let () =
   (* usage: main.exe [EXPERIMENT] [--jobs N] [--json]
+                     [--cache] [--no-cache] [--cache-dir DIR]
      --jobs parallelizes the corpus drivers over N domains (default: all
-     cores); --json makes `timing` emit a machine-readable bench point
-     and switches every batch failure inventory to JSON lines on
-     stderr. *)
+     cores); --json makes `timing`/`perf` emit machine-readable bench
+     points (perf also writes BENCH_4.json) and switches every batch
+     failure inventory to JSON lines on stderr; --cache routes `timing`
+     through the analysis cache; `perf` always uses a scratch cache
+     under --cache-dir. *)
   let which = ref "all" and jobs = ref (Nadroid_core.Parallel.default_jobs ()) and json = ref false in
+  let use_cache = ref false
+  and no_cache = ref false
+  and cache_dir = ref Nadroid_core.Cache.default_dir in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
         json := true;
+        parse rest
+    | "--cache" :: rest ->
+        use_cache := true;
+        parse rest
+    | "--no-cache" :: rest ->
+        no_cache := true;
+        parse rest
+    | "--cache-dir" :: dir :: rest ->
+        cache_dir := dir;
         parse rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with
@@ -575,6 +750,8 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = !jobs and json = !json in
+  let cache_dir = !cache_dir in
+  let cache = if !use_cache && not !no_cache then Some cache_dir else None in
   (* under --json, batch failure inventories also go out as JSON lines *)
   Eval.json_faults := json;
   (* force the shared builtin-program lazy before any domain spawns *)
@@ -585,7 +762,8 @@ let () =
       ("fig5", fig5 ~jobs);
       ("table2", table2 ~jobs);
       ("table3", table3);
-      ("timing", timing ~jobs ~json);
+      ("timing", timing ~jobs ~json ~cache);
+      ("perf", perf ~jobs ~json ~cache_dir);
       ("ablation", ablation);
       ("extension", extension);
     ]

@@ -69,6 +69,35 @@ let budget_explorer_arg =
 let budgets pta_steps deadline explorer_schedules =
   { Pipeline.pta_steps; deadline; explorer_schedules }
 
+(* -- analysis-cache flags (analyze, golden) ------------------------------ *)
+
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "serve and record results through the content-addressed on-disk analysis cache; a \
+           warm hit skips analysis and is byte-identical to a cold run")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"bypass the analysis cache (overrides --cache)")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string Nadroid_core.Cache.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"cache directory (default $(b,_nadroid_cache)); created on first store")
+
+let cache_enabled cache no_cache = cache && not no_cache
+
+(* A corrupt entry is served as a miss (the fresh result replaces it) but
+   the fault is surfaced, never silently swallowed. *)
+let warn_cache_outcome path = function
+  | Nadroid_core.Cache.Hit | Nadroid_core.Cache.Miss -> ()
+  | Nadroid_core.Cache.Corrupt f ->
+      Fmt.epr "%s: %a (cache entry replaced)@." path Fault.pp f
+
 let analyze_pipeline ?(budgets = Pipeline.no_budgets) path k sound_only =
   let src = read_file path in
   let config =
@@ -107,7 +136,9 @@ let analyze_cmd =
             "machine-readable output: one JSON object with per-file warning counts and the \
              fault inventory, instead of the human report")
   in
-  let run files k sound_only jobs timings json budget_pta deadline budget_explorer =
+  let run files k sound_only jobs timings json budget_pta deadline budget_explorer cache
+      no_cache cache_dir =
+    let module Cache = Nadroid_core.Cache in
     let config =
       {
         Pipeline.default_config with
@@ -116,28 +147,38 @@ let analyze_cmd =
         budgets = budgets budget_pta deadline budget_explorer;
       }
     in
+    let use_cache = cache_enabled cache no_cache in
     (* force the shared builtin-program lazy before any domain spawns *)
     ignore (Lazy.force Nadroid_lang.Builtins.program);
     (* crash-isolated: a bad file yields its own fault report while the
-       remaining files are still analyzed; exit with the worst class *)
+       remaining files are still analyzed; exit with the worst class.
+       Both paths produce a cache entry — the entry holds exactly what
+       this command prints (counts, rendered report, metrics), which is
+       what keeps cached and uncached output byte-identical. *)
     let results =
       List.map2
         (fun path r -> (path, Result.map_error Fault.of_exn r))
         files
         (Nadroid_core.Parallel.map_result ~jobs
-           (fun path -> Pipeline.analyze ~config ~file:path (read_file path))
+           (fun path ->
+             let src = read_file path in
+             if use_cache then Cache.analyze ~config ~dir:cache_dir ~file:path src
+             else
+               (Cache.entry_of_result (Pipeline.analyze ~config ~file:path src), Cache.Miss))
            files)
     in
+    List.iter
+      (fun (path, r) ->
+        match r with Ok (_, outcome) -> warn_cache_outcome path outcome | Error _ -> ())
+      results;
     (if json then
        (* stable machine-readable form: per-file counts plus the fault
           inventory, so CI can diff inventories across runs *)
        let file_json (path, r) =
          match r with
-         | Ok (t : Pipeline.t) ->
+         | Ok ((e : Cache.entry), _) ->
              Printf.sprintf "{\"name\":%S,\"potential\":%d,\"sound\":%d,\"unsound\":%d}" path
-               (List.length t.Pipeline.potential)
-               (List.length t.Pipeline.after_sound)
-               (List.length t.Pipeline.after_unsound)
+               e.Cache.e_potential e.Cache.e_after_sound e.Cache.e_after_unsound
          | Error fault -> Nadroid_core.Report.fault_to_json ~name:path fault
        in
        let ok, bad = List.partition (fun (_, r) -> Result.is_ok r) results in
@@ -149,14 +190,11 @@ let analyze_cmd =
          (fun (path, r) ->
            if List.length files > 1 then Fmt.pr "== %s ==@." path;
            match r with
-           | Ok (t : Pipeline.t) ->
+           | Ok ((e : Cache.entry), _) ->
                Fmt.pr "potential UAFs: %d; after sound filters: %d; after unsound filters: %d@.@."
-                 (List.length t.Pipeline.potential)
-                 (List.length t.Pipeline.after_sound)
-                 (List.length t.Pipeline.after_unsound);
-               print_string
-                 (Nadroid_core.Report.to_string t.Pipeline.threads t.Pipeline.after_unsound);
-               if timings then Fmt.pr "%a" Nadroid_core.Report.pp_metrics t.Pipeline.metrics
+                 e.Cache.e_potential e.Cache.e_after_sound e.Cache.e_after_unsound;
+               print_string e.Cache.e_report;
+               if timings then Fmt.pr "%a" Nadroid_core.Report.pp_metrics e.Cache.e_metrics
            | Error fault -> Fmt.epr "%s: %a@." path Fault.pp fault)
          results);
     let faults = List.filter_map (fun (_, r) -> Result.fold ~ok:(fun _ -> None) ~error:Option.some r) results in
@@ -170,7 +208,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"statically detect UAF ordering violations")
     Term.(
       const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg $ json_arg
-      $ budget_pta_arg $ deadline_arg $ budget_explorer_arg)
+      $ budget_pta_arg $ deadline_arg $ budget_explorer_arg $ cache_arg $ no_cache_arg
+      $ cache_dir_arg)
 
 let validate_cmd =
   let runs_arg =
@@ -411,12 +450,13 @@ let golden_cmd =
       & opt (some int) None
       & info [ "jobs"; "j" ] ~docv:"N" ~doc:"domains to analyze on (default: all cores)")
   in
-  let run dir bless jobs =
+  let run dir bless jobs cache no_cache cache_dir =
+    let cache_dir = if cache_enabled cache no_cache then Some cache_dir else None in
     if bless then
       let n = with_fault (fun () -> Golden.bless ~dir ?jobs ()) in
       Fmt.pr "blessed %d golden report(s) into %s@." n dir
     else
-      let results = with_fault (fun () -> Golden.check ~dir ?jobs ()) in
+      let results = with_fault (fun () -> Golden.check ~dir ?jobs ?cache_dir ()) in
       List.iter (fun r -> Fmt.pr "%a@." Golden.pp_status r) results;
       if not (Golden.ok results) then (
         let bad = List.filter (fun (_, s) -> s <> Golden.G_ok) results in
@@ -428,8 +468,9 @@ let golden_cmd =
     (Cmd.info "golden"
        ~doc:
          "diff the corpus against committed canonical reports (fails on any warning-set \
-          drift); --bless regenerates them")
-    Term.(const run $ dir_arg $ bless_arg $ jobs_arg)
+          drift); --bless regenerates them; --cache serves the reports through the analysis \
+          cache (the cold-then-warm CI gate)")
+    Term.(const run $ dir_arg $ bless_arg $ jobs_arg $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
 let corpus_cmd =
   let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in

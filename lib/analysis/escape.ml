@@ -13,20 +13,21 @@ module IntSet = Pta.IntSet
 
 type t = {
   escaping : IntSet.t;  (** object ids accessible to >= 2 threads or statics *)
-  accessed_by : (int, IntSet.t) Hashtbl.t;  (** thread entry instance -> objects it may touch *)
 }
 
 (* Instances reachable from [entry] through ordinary calls. *)
 let intra_thread_instances pta entry : IntSet.t =
-  let seen = ref IntSet.empty in
+  let mark = Bytes.make (max (entry + 1) (Pta.n_instances pta)) '\000' in
+  let acc = ref [] in
   let rec go i =
-    if not (IntSet.mem i !seen) then begin
-      seen := IntSet.add i !seen;
+    if Bytes.get mark i = '\000' then begin
+      Bytes.set mark i '\001';
+      acc := i :: !acc;
       List.iter go (Pta.ordinary_succs pta i)
     end
   in
   go entry;
-  !seen
+  IntSet.of_list !acc
 
 (* One pass over the points-to table, grouping objects by instance and
    building the field-successor map — [run] then works off these maps
@@ -51,22 +52,6 @@ let index_pts pta : (int, IntSet.t) Hashtbl.t * (int, IntSet.t) Hashtbl.t * IntS
 
 let lookup tbl key = Option.value ~default:IntSet.empty (Hashtbl.find_opt tbl key)
 
-(* All objects in scope of a set of instances. *)
-let objects_of_instances by_inst insts : IntSet.t =
-  IntSet.fold (fun i acc -> IntSet.union acc (lookup by_inst i)) insts IntSet.empty
-
-(* Close a set of objects under field reachability. *)
-let field_closure by_field objs : IntSet.t =
-  let seen = ref IntSet.empty in
-  let rec go oid =
-    if not (IntSet.mem oid !seen) then begin
-      seen := IntSet.add oid !seen;
-      IntSet.iter go (lookup by_field oid)
-    end
-  in
-  IntSet.iter go objs;
-  !seen
-
 let thread_entries pta : int list =
   let roots = List.map (fun r -> r.Pta.r_instance) (Pta.roots pta) in
   let posted =
@@ -76,31 +61,44 @@ let thread_entries pta : int list =
   in
   List.sort_uniq Int.compare (roots @ posted)
 
+(* The per-entry closures run on dense arrays — a byte-array visited mark
+   and an adjacency array over field successors — because every thread
+   entry reaches most of the heap, so functional-set DFS per entry was
+   the pipeline's hottest loop. The resulting escaping set is
+   unchanged. *)
 let run (pta : Pta.t) : t =
   let by_inst, by_field, statics = index_pts pta in
-  let entries = thread_entries pta in
-  let accessed_by = Hashtbl.create 32 in
+  let n_objs = max 1 (Pta.n_objects pta) in
+  let field_succ = Array.make n_objs [] in
+  Hashtbl.iter (fun o s -> field_succ.(o) <- IntSet.elements s) by_field;
+  let mark = Bytes.make n_objs '\000' in
+  (* field-reachability closure of the seeds; [visit] fires once per
+     newly reached object *)
+  let closure seed_iter visit =
+    Bytes.fill mark 0 n_objs '\000';
+    let rec go oid =
+      if Bytes.get mark oid = '\000' then begin
+        Bytes.set mark oid '\001';
+        visit oid;
+        List.iter go field_succ.(oid)
+      end
+    in
+    seed_iter go
+  in
+  (* objects seen by at least two thread entries escape *)
+  let counts = Array.make n_objs 0 in
   List.iter
     (fun entry ->
       let insts = intra_thread_instances pta entry in
-      let objs = field_closure by_field (objects_of_instances by_inst insts) in
-      Hashtbl.replace accessed_by entry objs)
-    entries;
+      closure
+        (fun go -> IntSet.iter (fun i -> IntSet.iter go (lookup by_inst i)) insts)
+        (fun oid -> counts.(oid) <- counts.(oid) + 1))
+    (thread_entries pta);
   (* statics escape unconditionally *)
-  let static_escape = field_closure by_field statics in
-  (* objects seen by at least two thread entries *)
-  let counts = Hashtbl.create 256 in
-  Hashtbl.iter
-    (fun _ objs ->
-      IntSet.iter
-        (fun oid ->
-          Hashtbl.replace counts oid (1 + Option.value ~default:0 (Hashtbl.find_opt counts oid)))
-        objs)
-    accessed_by;
-  let multi =
-    Hashtbl.fold (fun oid n acc -> if n >= 2 then IntSet.add oid acc else acc) counts IntSet.empty
-  in
-  { escaping = IntSet.union static_escape multi; accessed_by }
+  let escaping = ref IntSet.empty in
+  closure (fun go -> IntSet.iter go statics) (fun oid -> escaping := IntSet.add oid !escaping);
+  Array.iteri (fun oid n -> if n >= 2 then escaping := IntSet.add oid !escaping) counts;
+  { escaping = !escaping }
 
 let escapes t oid = IntSet.mem oid t.escaping
 

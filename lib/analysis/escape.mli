@@ -9,8 +9,6 @@ module IntSet = Pta.IntSet
 
 type t = {
   escaping : IntSet.t;  (** object ids accessible to >= 2 threads or statics *)
-  accessed_by : (int, IntSet.t) Hashtbl.t;
-      (** thread-entry instance -> objects it may touch *)
 }
 
 val intra_thread_instances : Pta.t -> int -> IntSet.t

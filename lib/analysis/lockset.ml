@@ -73,6 +73,17 @@ let run (pta : Pta.t) : t =
   let entries = Escape.thread_entries pta in
   List.iter (fun e -> Hashtbl.replace entry_locks e IntSet.empty) entries;
   ignore top_mark;
+  (* ordinary out-edges by caller, in edge-list order: the fixpoint reads
+     an instance's out-edges every round, so scanning the full edge list
+     each time was quadratic *)
+  let out_edges = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Pta.call_edge) ->
+      if e.Pta.ce_kind = Pta.E_ordinary then
+        Hashtbl.replace out_edges e.Pta.ce_from
+          (e :: Option.value ~default:[] (Hashtbl.find_opt out_edges e.Pta.ce_from)))
+    (Pta.edges pta);
+  Hashtbl.filter_map_inplace (fun _ es -> Some (List.rev es)) out_edges;
   let changed = ref true in
   while !changed do
     changed := false;
@@ -86,7 +97,6 @@ let run (pta : Pta.t) : t =
             (* push held locks into ordinary callees *)
             List.iter
               (fun (e : Pta.call_edge) ->
-                if e.Pta.ce_from = i && e.Pta.ce_kind = Pta.E_ordinary then
                   let held_at_site =
                     Option.value ~default:IntSet.empty
                       (List.assoc_opt e.Pta.ce_instr.Instr.id facts)
@@ -101,7 +111,7 @@ let run (pta : Pta.t) : t =
                     Hashtbl.replace entry_locks e.Pta.ce_to updated;
                     changed := true
                   end)
-              (Pta.edges pta)
+              (Option.value ~default:[] (Hashtbl.find_opt out_edges i))
           end
     done
   done;

@@ -10,9 +10,23 @@
    Roots are the entry callbacks of discovered components; the framework
    is modelled as allocating one object per component ("dummy main").
 
-   The solver iterates all reachable method instances to a fixpoint —
-   precision matches the classic worklist formulation; the corpus
-   programs are small enough that simplicity wins. *)
+   Two solvers share the transfer functions:
+
+   - [Reference]: iterate every reachable method instance to a fixpoint.
+     Each pass re-executes all transfers, so the cost per pass is the
+     whole reachable program even when one cell changed.
+   - [Worklist] (default): dependency-tracked. Each visit records which
+     points-to cells the instance reads; updating a cell re-enqueues
+     only its readers. The worklist deliberately emulates the reference
+     pass structure — dirty instances are drained in ascending id order,
+     an update lands in the current round when its reader sits ahead of
+     the cursor and in the next round otherwise, and instances interned
+     mid-round wait for the next round — so both solvers intern objects,
+     instances and call edges in the same order and reach bit-identical
+     states. Clean instances' transfers are no-ops (transfers are
+     monotone functions of the cells they read), so skipping them never
+     loses facts; the equivalence is gated by a qcheck property and the
+     golden corpus reports. *)
 
 open Nadroid_lang
 open Nadroid_ir
@@ -94,7 +108,20 @@ type t = {
   (* resource budget: instruction transfers executed / allowed *)
   mutable steps : int;
   budget : int option;
+  (* worklist machinery — inert under the reference solver *)
+  deps : (node, IntSet.t ref) Hashtbl.t;  (* cell -> instances that read it *)
+  mutable sched_cur : Bytes.t;  (* dirty instances, current round *)
+  mutable sched_next : Bytes.t;  (* dirty instances, next round *)
+  mutable pending_next : int;  (* bits set in sched_next *)
+  mutable cursor : int;  (* instance being visited; -1 outside a visit *)
+  mutable round_limit : int;  (* n_insts snapshot at round start *)
+  mutable tracking : bool;  (* worklist solve in progress *)
+  mutable visits : int;  (* method-instance bodies executed *)
+  (* lazily built adjacency over ordinary edges, for client traversals *)
+  mutable succ_idx : (int, int list) Hashtbl.t option;
 }
+
+type solver = Worklist | Reference
 
 exception Out_of_budget
 
@@ -117,11 +144,33 @@ let create ?(k = 2) ?budget (prog : Prog.t) : t =
     passes = 0;
     steps = 0;
     budget;
+    deps = Hashtbl.create 1024;
+    sched_cur = Bytes.make 256 '\000';
+    sched_next = Bytes.make 256 '\000';
+    pending_next = 0;
+    cursor = -1;
+    round_limit = 0;
+    tracking = false;
+    visits = 0;
+    succ_idx = None;
   }
 
 let obj t id = t.objs.(id)
 
 let instance t id = t.insts.(id)
+
+(* Mark instance [j] dirty. Updates land in the current round only when
+   the ascending scan has not yet reached [j] and [j] was already part of
+   the round's snapshot — exactly the instances whose reference-solver
+   visit this pass would observe the update. Everything else (scanned
+   already, the visiting instance itself, instances interned mid-round)
+   waits for the next round, matching the reference's next pass. *)
+let schedule t j =
+  if j > t.cursor && j < t.round_limit then Bytes.set t.sched_cur j '\001'
+  else if Bytes.get t.sched_next j <> '\001' then begin
+    Bytes.set t.sched_next j '\001';
+    t.pending_next <- t.pending_next + 1
+  end
 
 let intern_obj t site hctx : int =
   let key = (site, hctx) in
@@ -155,6 +204,16 @@ let intern_instance t mref ctx : int =
       t.insts.(id) <- { i_id = id; i_mref = mref; i_ctx = ctx };
       Hashtbl.add t.inst_ids key id;
       t.changed <- true;
+      if id >= Bytes.length t.sched_cur then begin
+        let grow b =
+          let bigger = Bytes.make (2 * Bytes.length b) '\000' in
+          Bytes.blit b 0 bigger 0 (Bytes.length b);
+          bigger
+        in
+        t.sched_cur <- grow t.sched_cur;
+        t.sched_next <- grow t.sched_next
+      end;
+      if t.tracking then schedule t id;
       id
 
 let synth_site t ~tag ~cls : Instr.alloc_site =
@@ -176,10 +235,24 @@ let is_synthetic_site (s : Instr.alloc_site) = String.equal s.Instr.as_method.In
 
 (* -- points-to set operations ------------------------------------------- *)
 
+(* Reads register the visiting instance as a reader of the cell. Reader
+   sets only grow — sound because points-to sets only grow, so a stale
+   reader's re-visit is at worst a no-op. *)
 let get_pts t node =
+  if t.tracking && t.cursor >= 0 then begin
+    match Hashtbl.find_opt t.deps node with
+    | Some rs -> if not (IntSet.mem t.cursor !rs) then rs := IntSet.add t.cursor !rs
+    | None -> Hashtbl.add t.deps node (ref (IntSet.singleton t.cursor))
+  end;
   match Hashtbl.find_opt t.pts node with
   | Some s -> !s
   | None -> IntSet.empty
+
+let wake_readers t node =
+  if t.tracking then
+    match Hashtbl.find_opt t.deps node with
+    | Some rs -> IntSet.iter (schedule t) !rs
+    | None -> ()
 
 let add_pts t node objs =
   if not (IntSet.is_empty objs) then
@@ -188,11 +261,13 @@ let add_pts t node objs =
         let u = IntSet.union !s objs in
         if not (IntSet.equal u !s) then begin
           s := u;
-          t.changed <- true
+          t.changed <- true;
+          wake_readers t node
         end
     | None ->
         Hashtbl.add t.pts node (ref objs);
-        t.changed <- true
+        t.changed <- true;
+        wake_readers t node
 
 let add_obj t node oid = add_pts t node (IntSet.singleton oid)
 
@@ -211,6 +286,7 @@ let record_edge t ~from ~(instr : Instr.t) ~kind ~target =
   if not (Hashtbl.mem t.edge_seen key) then begin
     Hashtbl.add t.edge_seen key ();
     t.edges <- { ce_from = from; ce_instr = instr; ce_kind = kind; ce_to = target } :: t.edges;
+    t.succ_idx <- None;
     t.changed <- true
   end
 
@@ -448,7 +524,20 @@ let tick t =
   | Some b when t.steps > b -> raise Out_of_budget
   | Some _ | None -> ()
 
-let solve t =
+let visit t i =
+  let inst = instance t i in
+  match Prog.body t.prog inst.i_mref with
+  | None -> ()
+  | Some body ->
+      t.visits <- t.visits + 1;
+      Cfg.iter_instrs
+        (fun ins ->
+          tick t;
+          transfer_instr t ~caller:i ins)
+        body;
+      transfer_returns t ~caller:i body
+
+let solve_reference t =
   seed_roots t;
   t.changed <- true;
   while t.changed do
@@ -458,29 +547,55 @@ let solve t =
        processed in the next one *)
     let n = t.n_insts in
     for i = 0 to n - 1 do
-      let inst = instance t i in
-      match Prog.body t.prog inst.i_mref with
-      | None -> ()
-      | Some body ->
-          Cfg.iter_instrs
-            (fun ins ->
-              tick t;
-              transfer_instr t ~caller:i ins)
-            body;
-          transfer_returns t ~caller:i body
+      visit t i
     done
   done
 
+(* Dependency-tracked fixpoint. Rounds mirror the reference passes: each
+   round drains the dirty instances of a snapshot in ascending id order,
+   so interning order — and with it every downstream id, edge order and
+   report byte — matches {!solve_reference} exactly (see the header
+   comment for the argument). *)
+let solve_worklist t =
+  t.tracking <- true;
+  seed_roots t;
+  while t.pending_next > 0 do
+    let drained = t.sched_cur in
+    t.sched_cur <- t.sched_next;
+    t.sched_next <- drained;
+    Bytes.fill t.sched_next 0 (Bytes.length t.sched_next) '\000';
+    t.pending_next <- 0;
+    t.passes <- t.passes + 1;
+    t.round_limit <- t.n_insts;
+    let i = ref 0 in
+    while !i < t.round_limit do
+      if Bytes.get t.sched_cur !i = '\001' then begin
+        Bytes.set t.sched_cur !i '\000';
+        t.cursor <- !i;
+        visit t !i;
+        t.cursor <- -1
+      end;
+      incr i
+    done;
+    t.round_limit <- 0
+  done;
+  t.tracking <- false
+
+let solve ?(solver = Worklist) t =
+  match solver with Worklist -> solve_worklist t | Reference -> solve_reference t
+
 (* -- result API ------------------------------------------------------------ *)
 
-let run ?k prog =
+let run ?solver ?k prog =
   let t = create ?k prog in
-  solve t;
+  solve ?solver t;
   t
 
-let run_budgeted ~steps ?k prog =
+let run_reference ?k prog = run ~solver:Reference ?k prog
+
+let run_budgeted ~steps ?solver ?k prog =
   let t = create ?k ~budget:steps prog in
-  match solve t with () -> Some t | exception Out_of_budget -> None
+  match solve ?solver t with () -> Some t | exception Out_of_budget -> None
 
 let pts_var t ~inst ~(v : Instr.var) : IntSet.t = get_pts t (Nvar (inst, v.Instr.v_id))
 
@@ -500,11 +615,52 @@ let roots t = t.roots
 
 let passes t = t.passes
 
-(* Ordinary-call successors of an instance (intra-thread closure). *)
+let visits t = t.visits
+
+let steps t = t.steps
+
+(* Structural equality of two solved states — interning tables, points-to
+   sets, call edges and roots. Used by the worklist/reference equivalence
+   gate; because the worklist emulates the reference interning order this
+   is plain equality, not equality-modulo-renaming. *)
+let equal_results a b =
+  let pts_subset p q =
+    Hashtbl.fold
+      (fun node s acc ->
+        acc
+        && IntSet.equal !s
+             (match Hashtbl.find_opt q node with Some s' -> !s' | None -> IntSet.empty))
+      p true
+  in
+  a.n_objs = b.n_objs
+  && a.n_insts = b.n_insts
+  && Array.sub a.objs 0 a.n_objs = Array.sub b.objs 0 b.n_objs
+  && Array.sub a.insts 0 a.n_insts = Array.sub b.insts 0 b.n_insts
+  && pts_subset a.pts b.pts && pts_subset b.pts a.pts
+  && a.edges = b.edges && a.roots = b.roots
+
+(* Ordinary-call successors of an instance (intra-thread closure), off a
+   lazily built adjacency index: client traversals (escape, lockset)
+   query successors for every reachable instance, so the former full
+   [edges] scan per query was quadratic in practice. Bucket order matches
+   the order the full scan produced. *)
 let ordinary_succs t inst =
-  List.filter_map
-    (fun e -> if e.ce_from = inst && e.ce_kind = E_ordinary then Some e.ce_to else None)
-    t.edges
+  let idx =
+    match t.succ_idx with
+    | Some idx -> idx
+    | None ->
+        let idx = Hashtbl.create (max 64 t.n_insts) in
+        List.iter
+          (fun e ->
+            if e.ce_kind = E_ordinary then
+              Hashtbl.replace idx e.ce_from
+                (e.ce_to :: Option.value ~default:[] (Hashtbl.find_opt idx e.ce_from)))
+          t.edges;
+        Hashtbl.filter_map_inplace (fun _ succs -> Some (List.rev succs)) idx;
+        t.succ_idx <- Some idx;
+        idx
+  in
+  Option.value ~default:[] (Hashtbl.find_opt idx inst)
 
 (* All objects stored anywhere in a field of [oid] — the heap-reachability
    step used by the escape analysis. *)

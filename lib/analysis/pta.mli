@@ -73,16 +73,42 @@ type t = {
   mutable passes : int;
   mutable steps : int;  (** instruction transfers executed so far *)
   budget : int option;  (** step budget; [None] = unbounded *)
+  deps : (node, IntSet.t ref) Hashtbl.t;
+      (** worklist dependency table: cell -> reader instances *)
+  mutable sched_cur : Bytes.t;
+  mutable sched_next : Bytes.t;
+  mutable pending_next : int;
+  mutable cursor : int;
+  mutable round_limit : int;
+  mutable tracking : bool;
+  mutable visits : int;  (** method-instance bodies executed so far *)
+  mutable succ_idx : (int, int list) Hashtbl.t option;
+      (** lazily built ordinary-edge adjacency ({!ordinary_succs}) *)
 }
 (** Solver state, exposed read-only by convention after {!run}. *)
 
-val run : ?k:int -> Prog.t -> t
-(** Solve to fixpoint. [k] defaults to 2. *)
+(** [Worklist] (default) re-visits only instances whose read cells
+    changed; [Reference] re-executes every reachable instance each pass.
+    Both reach bit-identical states — the worklist emulates the
+    reference's interning order; see the implementation header. *)
+type solver = Worklist | Reference
 
-val run_budgeted : steps:int -> ?k:int -> Prog.t -> t option
+val run : ?solver:solver -> ?k:int -> Prog.t -> t
+(** Solve to fixpoint. [k] defaults to 2, [solver] to [Worklist]. *)
+
+val run_reference : ?k:int -> Prog.t -> t
+(** {!run} with the snapshot-iterate-all reference solver — the oracle
+    for the worklist equivalence property. *)
+
+val run_budgeted : steps:int -> ?solver:solver -> ?k:int -> Prog.t -> t option
 (** Like {!run} but bounded: one step is one instruction transfer, so the
-    bound is deterministic for a given program and [k]. Returns [None]
+    bound is deterministic for a given program, [k] and [solver] (the
+    worklist executes fewer transfers than the reference). Returns [None]
     when the budget runs out before the fixpoint is reached. *)
+
+val equal_results : t -> t -> bool
+(** Structural equality of two solved states: objects, instances,
+    points-to sets, call edges and roots. *)
 
 val obj : t -> int -> obj
 
@@ -110,8 +136,16 @@ val roots : t -> root list
 
 val passes : t -> int
 
+val visits : t -> int
+(** Method-instance bodies executed during the solve — the measure of
+    work the worklist saves over the reference solver. *)
+
+val steps : t -> int
+(** Instruction transfers executed during the solve. *)
+
 val ordinary_succs : t -> int -> int list
-(** Ordinary-call successors of an instance (intra-thread closure). *)
+(** Ordinary-call successors of an instance (intra-thread closure);
+    amortized O(out-degree) off a lazily built adjacency index. *)
 
 val field_succs : t -> int -> IntSet.t
 (** Objects stored in any field of the given object. *)

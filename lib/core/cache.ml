@@ -1,0 +1,136 @@
+(* Content-addressed on-disk cache for analysis results.
+
+   A cache entry is addressed by the digest of (source bytes, canonical
+   pipeline-config rendering, analyzer version): any change to the
+   source, the configuration or the analyzer busts the address, so a hit
+   can only ever return what a fresh run of the same analyzer over the
+   same input would produce. Entries store the *rendered* artifacts — the
+   warning counts, the final report string and the cold run's metrics —
+   not the solver state, which keeps them small, Marshal-safe and exactly
+   sufficient for every consumer (CLI output, golden canonical reports,
+   bench timing rows).
+
+   Integrity: the payload is guarded by a magic header and a digest; a
+   truncated, corrupted or wrong-format file is reported as [Corrupt]
+   carrying a structured {!Fault.t} and treated by callers as a miss —
+   the cache can serve stale bytes never, wrong bytes never, at worst no
+   bytes. Writes go through a temp file + rename, so a crashed writer
+   leaves no half-written addressable entry. *)
+
+(* Bump on any change to analysis semantics or to the entry format; old
+   entries then simply stop being addressed (no migration, no unmarshal
+   of foreign layouts). *)
+let version = "nadroid-5"
+
+let default_dir = "_nadroid_cache"
+
+type entry = {
+  e_potential : int;
+  e_after_sound : int;
+  e_after_unsound : int;
+  e_report : string;  (** rendered final report ({!Report.to_string}) *)
+  e_metrics : Pipeline.metrics;  (** metrics of the producing (cold) run *)
+}
+
+type outcome = Hit | Miss | Corrupt of Fault.t
+
+(* Canonical rendering of everything in a config that can influence the
+   result. Budgets are included: a budget-degraded report is a different
+   (still sound) report. *)
+let config_digest (c : Pipeline.config) : string =
+  let names ns = String.concat "+" (List.map Filters.name_to_string ns) in
+  let opt f = function None -> "-" | Some v -> f v in
+  Printf.sprintf "k=%d;sound=%s;unsound=%s;atomic_ig=%b;pta_steps=%s;deadline=%s;sched=%s;solver=%s"
+    c.Pipeline.k (names c.Pipeline.sound) (names c.Pipeline.unsound) c.Pipeline.atomic_ig
+    (opt string_of_int c.Pipeline.budgets.Pipeline.pta_steps)
+    (opt string_of_float c.Pipeline.budgets.Pipeline.deadline)
+    (opt string_of_int c.Pipeline.budgets.Pipeline.explorer_schedules)
+    (match c.Pipeline.solver with
+    | Nadroid_analysis.Pta.Worklist -> "worklist"
+    | Nadroid_analysis.Pta.Reference -> "reference")
+
+let key ?(version = version) ~(config : Pipeline.config) (src : string) : string =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ Digest.string src; config_digest config; version ]))
+
+let path ~dir k = Filename.concat dir (k ^ ".cache")
+
+let magic = "nadroid-cache 1"
+
+let corrupt what = Corrupt (Fault.Internal (Printf.sprintf "cache: %s" what))
+
+let find ~dir (k : string) : entry option * outcome =
+  let p = path ~dir k in
+  if not (Sys.file_exists p) then (None, Miss)
+  else
+    match
+      let ic = open_in_bin p in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception _ -> (None, corrupt ("unreadable entry " ^ p))
+    | raw -> (
+        match String.index_opt raw '\n' with
+        | None -> (None, corrupt ("truncated entry " ^ p))
+        | Some nl -> (
+            let header = String.sub raw 0 nl in
+            let payload = String.sub raw (nl + 1) (String.length raw - nl - 1) in
+            match String.split_on_char ' ' header with
+            | [ m1; m2; digest ] when String.equal (m1 ^ " " ^ m2) magic ->
+                if not (String.equal digest (Digest.to_hex (Digest.string payload))) then
+                  (None, corrupt ("checksum mismatch in " ^ p))
+                else (
+                  match (Marshal.from_string payload 0 : entry) with
+                  | e -> (Some e, Hit)
+                  | exception _ -> (None, corrupt ("undecodable entry " ^ p)))
+            | _ -> (None, corrupt ("bad header in " ^ p))))
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let store ~dir (k : string) (e : entry) : unit =
+  mkdir_p dir;
+  let payload = Marshal.to_string e [] in
+  let header =
+    Printf.sprintf "%s %s\n" magic (Digest.to_hex (Digest.string payload))
+  in
+  let tmp =
+    Filename.concat dir (Printf.sprintf ".tmp.%s.%d" k (Unix.getpid ()))
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc header;
+      output_string oc payload);
+  Sys.rename tmp (path ~dir k)
+
+let entry_of_result (t : Pipeline.t) : entry =
+  {
+    e_potential = List.length t.Pipeline.potential;
+    e_after_sound = List.length t.Pipeline.after_sound;
+    e_after_unsound = List.length t.Pipeline.after_unsound;
+    e_report = Report.to_string t.Pipeline.threads t.Pipeline.after_unsound;
+    e_metrics = t.Pipeline.metrics;
+  }
+
+(* Cached front door: serve the entry on a hit, otherwise analyze, store
+   and return the fresh entry. The outcome tells the caller whether the
+   result came from the cache and whether a corrupt entry was replaced —
+   a corrupt entry never influences the returned result. *)
+let analyze ?config ~dir ~file (src : string) : entry * outcome =
+  let config = Option.value config ~default:Pipeline.default_config in
+  let k = key ~config src in
+  match find ~dir k with
+  | Some e, Hit -> (e, Hit)
+  | _, ((Miss | Corrupt _) as outcome) ->
+      let t = Pipeline.analyze ~config ~file src in
+      let e = entry_of_result t in
+      store ~dir k e;
+      (e, outcome)
+  | None, Hit -> assert false

@@ -1,0 +1,51 @@
+(** Content-addressed on-disk cache for analysis results.
+
+    Entries are addressed by [Digest (source, config rendering, analyzer
+    version)] and store the rendered artifacts of one analysis — warning
+    counts, the final report string and the producing run's metrics — so
+    a warm re-run of an unchanged input skips analysis entirely while
+    staying byte-identical to the cold run. Corrupt or truncated entries
+    are reported as {!Corrupt} (carrying a {!Fault.t}) and treated as
+    misses: the cache never yields a wrong report. *)
+
+val version : string
+(** Analyzer version baked into every address; bumping it busts the
+    whole cache. *)
+
+val default_dir : string
+(** ["_nadroid_cache"]. *)
+
+type entry = {
+  e_potential : int;
+  e_after_sound : int;
+  e_after_unsound : int;
+  e_report : string;  (** rendered final report ({!Report.to_string}) *)
+  e_metrics : Pipeline.metrics;  (** metrics of the producing (cold) run *)
+}
+
+type outcome = Hit | Miss | Corrupt of Fault.t
+
+val config_digest : Pipeline.config -> string
+(** Canonical rendering of every result-influencing config field. *)
+
+val key : ?version:string -> config:Pipeline.config -> string -> string
+(** [key ~config src] is the hex cache address of analyzing [src] under
+    [config]; [?version] overrides {!version} (tests). *)
+
+val find : dir:string -> string -> entry option * outcome
+(** Look an address up. [(Some e, Hit)] on an intact entry; [(None,
+    Miss)] when absent; [(None, Corrupt f)] when present but unreadable,
+    truncated, checksum-broken or undecodable. *)
+
+val store : dir:string -> string -> entry -> unit
+(** Write an entry atomically (temp file + rename), creating [dir] as
+    needed. *)
+
+val entry_of_result : Pipeline.t -> entry
+
+val analyze :
+  ?config:Pipeline.config -> dir:string -> file:string -> string -> entry * outcome
+(** Cached {!Pipeline.analyze}: serve the entry on a hit; otherwise (miss
+    or corrupt entry) analyze, store and return the fresh entry together
+    with the outcome that forced the work. Analysis faults propagate
+    as exceptions exactly like {!Pipeline.analyze}. *)

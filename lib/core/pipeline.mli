@@ -32,6 +32,9 @@ type config = {
   unsound : Filters.name list;
   atomic_ig : bool;  (** [false] = DEvA-style unsound IG/IA *)
   budgets : budgets;
+  solver : Pta.solver;
+      (** points-to fixpoint strategy; [Pta.Worklist] by default, with
+          [Pta.Reference] producing bit-identical results slower *)
 }
 
 val default_config : config
@@ -66,6 +69,10 @@ type metrics = {
   m_ctx : float;  (** filter-context (guards / component map) construction *)
   m_filter : float;  (** sound + unsound filter application *)
   m_wall : float;  (** wall time of the whole analysis *)
+  m_pta_visits : int;
+      (** method-instance bodies the points-to solver executed — the
+          worklist's saving over the reference solver, wall-clock aside *)
+  m_pta_steps : int;  (** instruction transfers the solver executed *)
   m_pruned : (Filters.name * int) list;
       (** (warning, pair) combinations pruned, credited per filter *)
   m_degraded : degradation list;  (** empty = full-precision run *)
@@ -94,8 +101,17 @@ type t = {
 
 val analyze_prog : ?config:config -> Prog.t -> t
 
+val auto_pta_steps : loc:int -> int
+(** Default PTA step budget for a [loc]-line app — the budget
+    auto-calibration: [5000 + 500*loc], >10x above the worst observed
+    steps-per-line of the reference solver at k=2 over the corpus and the
+    Synth generator. *)
+
 val analyze : ?config:config -> file:string -> string -> t
-(** Parse, typecheck, lower and analyse a MiniAndroid source. *)
+(** Parse, typecheck, lower and analyse a MiniAndroid source. When the
+    config carries no explicit [pta_steps] budget, one is derived from
+    the source size via {!auto_pta_steps}; {!analyze_prog} never derives
+    a budget (it has no source to size). *)
 
 (** Counts for an app's Table 1 row. *)
 type row = {

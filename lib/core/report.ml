@@ -70,6 +70,8 @@ let pp_metrics ppf (m : Pipeline.metrics) =
   line "filter-ctx" m.Pipeline.m_ctx;
   line "filters" m.Pipeline.m_filter;
   Fmt.pf ppf "  %-12s %8.3f ms@\n" "wall" (1000.0 *. m.Pipeline.m_wall);
+  Fmt.pf ppf "  %-12s %8d visits %8d steps@\n" "pta-work" m.Pipeline.m_pta_visits
+    m.Pipeline.m_pta_steps;
   (match m.Pipeline.m_pruned with
   | [] -> ()
   | pruned ->
@@ -100,6 +102,9 @@ let metrics_to_json ?name (m : Pipeline.metrics) : string =
       ("phase_sum", Pipeline.phase_sum m);
       ("wall", m.Pipeline.m_wall);
     ];
+  Buffer.add_string buf
+    (Printf.sprintf "\"pta_visits\":%d,\"pta_steps\":%d," m.Pipeline.m_pta_visits
+       m.Pipeline.m_pta_steps);
   Buffer.add_string buf "\"pruned\":{";
   List.iteri
     (fun i (n, c) ->

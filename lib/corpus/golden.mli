@@ -7,6 +7,11 @@ val canonical : Corpus.app -> Nadroid_core.Pipeline.t -> string
 (** Pipeline counts plus the rendered warning report under the default
     configuration. *)
 
+val canonical_of_entry : Corpus.app -> Nadroid_core.Cache.entry -> string
+(** Same canonical form, rebuilt from a cache entry — [canonical app t =
+    canonical_of_entry app (Cache.entry_of_result t)], which is what
+    makes warm golden passes byte-identical to cold ones. *)
+
 val filename : Corpus.app -> string
 (** ["<name>.expected"]. *)
 
@@ -16,10 +21,12 @@ type status =
   | G_drift of { line : int; expected : string; actual : string }
       (** first differing line (1-based; [""] = past end of file) *)
 
-val check : dir:string -> ?jobs:int -> unit -> (string * status) list
+val check : dir:string -> ?jobs:int -> ?cache_dir:string -> unit -> (string * status) list
 (** Re-analyze the corpus and compare each canonical report against
     [dir/<name>.expected]; results in corpus order. A corpus app that
-    fails to analyze raises its fault — that too is a regression. *)
+    fails to analyze raises its fault — that too is a regression. With
+    [cache_dir] the analyses go through {!Nadroid_core.Cache} (the CI
+    cold-then-warm drift gate). *)
 
 val ok : (string * status) list -> bool
 

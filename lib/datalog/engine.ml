@@ -240,6 +240,18 @@ let solve_stratum t (rules : rule list) =
       heads;
     h
   in
+  (* Deltas that derived nothing contribute nothing next round; dropping
+     them lets the loop skip the whole rule-position evaluation (which
+     would otherwise enumerate the full join prefix before reaching the
+     empty delta atom). Pruning never changes which tuples are derived or
+     their derivation order, only skips provably empty evaluations. *)
+  let prune h =
+    let keep = Hashtbl.create 8 in
+    Hashtbl.iter (fun p d -> if Relation.cardinal d > 0 then Hashtbl.replace keep p d) h;
+    keep
+  in
+  (* cache per-rule positive positions; stable across iterations *)
+  let rule_positions = List.map (fun rule -> (rule, positive_positions rule)) rules in
   (* naive first round: evaluate every rule on full relations *)
   let delta = mk_delta () in
   List.iter
@@ -250,16 +262,14 @@ let solve_stratum t (rules : rule list) =
           if Relation.add rel tup then ignore (Relation.add (Hashtbl.find delta rule.head.pred) tup))
         (eval_rule t rule ~deltas:(Hashtbl.create 0) ~delta_at:None))
     rules;
-  let current = ref delta in
-  let continue_ = ref true in
-  while !continue_ do
+  let current = ref (prune delta) in
+  while Hashtbl.length !current > 0 do
     let next = mk_delta () in
-    let added = ref false in
     List.iter
-      (fun rule ->
+      (fun (rule, positions) ->
         List.iter
           (fun pos ->
-            (* only source from delta if the atom's predicate has a delta *)
+            (* only source from a delta that actually has new tuples *)
             let a =
               match List.nth rule.body pos with
               | Pos a -> a
@@ -269,15 +279,12 @@ let solve_stratum t (rules : rule list) =
               let rel = Hashtbl.find t.relations rule.head.pred in
               List.iter
                 (fun tup ->
-                  if Relation.add rel tup then begin
-                    ignore (Relation.add (Hashtbl.find next rule.head.pred) tup);
-                    added := true
-                  end)
+                  if Relation.add rel tup then
+                    ignore (Relation.add (Hashtbl.find next rule.head.pred) tup))
                 (eval_rule t rule ~deltas:!current ~delta_at:(Some pos)))
-          (positive_positions rule))
-      rules;
-    current := next;
-    continue_ := !added
+          positions)
+      rule_positions;
+    current := prune next
   done
 
 let solve t =

@@ -32,13 +32,25 @@ let check_arity t tup =
       (Printf.sprintf "relation %s has arity %d, got a tuple of width %d" t.name t.arity
          (Array.length tup))
 
-(* Adding a fact invalidates indexes; they are rebuilt lazily. *)
+let project tup cols = List.map (fun c -> tup.(c)) cols
+
+(* Adding a fact maintains existing indexes in place: the new tuple is
+   appended to its bucket in every live index. Dropping the indexes here
+   instead (the previous behaviour) made a semi-naive iteration that
+   derives n facts rebuild O(n) full indexes — quadratic in the relation
+   size where an insert should be O(#indexes). *)
 let add t tup =
   check_arity t tup;
   if TupleSet.mem t.tuples tup then false
   else begin
     TupleSet.replace t.tuples tup ();
-    t.indexes <- [];
+    List.iter
+      (fun (cols, idx) ->
+        let k = project tup cols in
+        match Hashtbl.find_opt idx k with
+        | Some l -> l := tup :: !l
+        | None -> Hashtbl.add idx k (ref [ tup ]))
+      t.indexes;
     true
   end
 
@@ -47,8 +59,6 @@ let iter f t = TupleSet.iter (fun tup () -> f tup) t.tuples
 let fold f acc t = TupleSet.fold (fun tup () acc -> f acc tup) t.tuples acc
 
 let to_list t = fold (fun acc tup -> tup :: acc) [] t
-
-let project tup cols = List.map (fun c -> tup.(c)) cols
 
 let index t cols =
   match List.assoc_opt cols t.indexes with
@@ -64,6 +74,8 @@ let index t cols =
         t;
       t.indexes <- (cols, idx) :: t.indexes;
       idx
+
+let n_indexes t = List.length t.indexes
 
 (* All tuples whose projection on [cols] equals [key]. *)
 let lookup t ~cols ~key =

@@ -14,9 +14,13 @@ val mem : t -> int array -> bool
 val cardinal : t -> int
 
 val add : t -> int array -> bool
-(** [add t tup] returns [true] when the tuple is new. Invalidates
-    existing indexes (rebuilt lazily).
+(** [add t tup] returns [true] when the tuple is new. Existing column
+    indexes are maintained in place — an insert is O(#indexes), never a
+    rebuild.
     @raise Invalid_argument on arity mismatch. *)
+
+val n_indexes : t -> int
+(** Number of live column indexes (for tests). *)
 
 val iter : (int array -> unit) -> t -> unit
 

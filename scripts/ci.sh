@@ -53,4 +53,30 @@ dune exec --no-print-directory bin/nadroid.exe -- difftest --seed 42 --apps 100
 #    (regenerate deliberately with `nadroid golden --bless`).
 dune exec --no-print-directory bin/nadroid.exe -- golden --dir test/golden
 
+# 7. PTA solver equivalence: the worklist solver must be bit-identical
+#    to the reference solver on the corpus and on >= 200 generated apps
+#    (the property gating the perf tentpole).
+dune exec --no-print-directory test/test_main.exe -- test pta-equivalence
+
+# 8. Cache drift gate: a cold pass filling a fresh cache and a warm pass
+#    served from it must both match the golden reports byte-for-byte.
+cache_dir="_nadroid_cache/ci.$$"
+rm -rf "$cache_dir"
+dune exec --no-print-directory bin/nadroid.exe -- golden --dir test/golden --cache --cache-dir "$cache_dir"
+dune exec --no-print-directory bin/nadroid.exe -- golden --dir test/golden --cache --cache-dir "$cache_dir"
+rm -rf "$cache_dir"
+
+# 9. Perf bench smoke: cold/warm/reference batches must emit the
+#    BENCH_4.json trajectory point with its expected keys.
+dune exec --no-print-directory bench/main.exe -- perf --json --jobs 1 >/dev/null
+for key in '"cold_elapsed"' '"warm_elapsed"' '"reference_elapsed"' '"speedup_cold_vs_reference"' '"warm_hits"' '"pta_visits"' '"pta_steps"'; do
+  case $(cat BENCH_4.json) in
+  *${key}*) ;;
+  *)
+    echo "ci: BENCH_4.json is missing ${key}" >&2
+    exit 1
+    ;;
+  esac
+done
+
 echo "ci: ok"

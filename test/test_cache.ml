@@ -1,0 +1,168 @@
+(* Content-addressed analysis cache: a warm hit serves exactly the bytes
+   the cold run produced; any change to source, config or analyzer
+   version moves the address; a corrupted or truncated entry is a miss
+   that surfaces a structured [Fault] and never a wrong report. *)
+
+module Pipeline = Nadroid_core.Pipeline
+module Cache = Nadroid_core.Cache
+module Fault = Nadroid_core.Fault
+module Corpus = Nadroid_corpus.Corpus
+
+(* each test gets its own directory under the test cwd (inside _build) *)
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "_cache_test.%d.%d" (Unix.getpid ()) !n
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let app () =
+  match Corpus.find "Zxing" with Some a -> a | None -> Alcotest.fail "no Zxing"
+
+let check_entry_equal msg (a : Cache.entry) (b : Cache.entry) =
+  Alcotest.(check int) (msg ^ ": potential") a.Cache.e_potential b.Cache.e_potential;
+  Alcotest.(check int) (msg ^ ": after-sound") a.Cache.e_after_sound b.Cache.e_after_sound;
+  Alcotest.(check int) (msg ^ ": after-unsound") a.Cache.e_after_unsound b.Cache.e_after_unsound;
+  (* byte identity of the rendered report is the whole point *)
+  Alcotest.(check string) (msg ^ ": report bytes") a.Cache.e_report b.Cache.e_report
+
+let warm_hit_is_byte_identical () =
+  with_dir (fun dir ->
+      let a = app () in
+      let cold, o1 = Cache.analyze ~dir ~file:a.Corpus.name a.Corpus.source in
+      (match o1 with Cache.Miss -> () | _ -> Alcotest.fail "first run must miss");
+      let warm, o2 = Cache.analyze ~dir ~file:a.Corpus.name a.Corpus.source in
+      (match o2 with Cache.Hit -> () | _ -> Alcotest.fail "second run must hit");
+      check_entry_equal "warm = cold" cold warm;
+      (* and both match the uncached pipeline *)
+      let direct =
+        Cache.entry_of_result (Pipeline.analyze ~file:a.Corpus.name a.Corpus.source)
+      in
+      check_entry_equal "cached = direct" direct cold)
+
+let source_edit_busts () =
+  let a = app () in
+  let config = Pipeline.default_config in
+  let k1 = Cache.key ~config a.Corpus.source in
+  let k2 = Cache.key ~config (a.Corpus.source ^ "\n// touched\n") in
+  Alcotest.(check bool) "edited source gets a new address" true (k1 <> k2)
+
+let config_change_busts () =
+  let a = app () in
+  let base = Cache.key ~config:Pipeline.default_config a.Corpus.source in
+  let variants =
+    [
+      ("k", { Pipeline.default_config with Pipeline.k = 1 });
+      ("filters", Pipeline.sound_only_config);
+      ( "solver",
+        { Pipeline.default_config with Pipeline.solver = Nadroid_analysis.Pta.Reference } );
+      ( "budget",
+        {
+          Pipeline.default_config with
+          Pipeline.budgets = { Pipeline.no_budgets with Pipeline.pta_steps = Some 7 };
+        } );
+    ]
+  in
+  List.iter
+    (fun (what, config) ->
+      Alcotest.(check bool)
+        (what ^ " change gets a new address")
+        true
+        (Cache.key ~config a.Corpus.source <> base))
+    variants
+
+let version_bump_busts () =
+  let a = app () in
+  let config = Pipeline.default_config in
+  Alcotest.(check bool)
+    "version bump gets a new address" true
+    (Cache.key ~config a.Corpus.source
+    <> Cache.key ~version:(Cache.version ^ "'") ~config a.Corpus.source)
+
+(* Overwrite an entry's file with [mangle applied to its bytes], then
+   check [find] reports Corrupt (an Internal fault, never a wrong entry)
+   and [analyze] still returns the correct result and repairs the
+   entry. *)
+let corruption_is_a_surfaced_miss mangle () =
+  with_dir (fun dir ->
+      let a = app () in
+      let cold, _ = Cache.analyze ~dir ~file:a.Corpus.name a.Corpus.source in
+      let k = Cache.key ~config:Pipeline.default_config a.Corpus.source in
+      let p = Filename.concat dir (k ^ ".cache") in
+      let raw =
+        let ic = open_in_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let oc = open_out_bin p in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (mangle raw));
+      (match Cache.find ~dir k with
+      | None, Cache.Corrupt (Fault.Internal _) -> ()
+      | Some _, _ -> Alcotest.fail "corrupt entry must not decode"
+      | None, (Cache.Hit | Cache.Miss | Cache.Corrupt _) ->
+          Alcotest.fail "expected a Corrupt outcome carrying an Internal fault");
+      let again, o = Cache.analyze ~dir ~file:a.Corpus.name a.Corpus.source in
+      (match o with
+      | Cache.Corrupt (Fault.Internal _) -> ()
+      | _ -> Alcotest.fail "analyze must surface the corruption");
+      check_entry_equal "re-analysis over corrupt entry" cold again;
+      (* the corrupt entry was replaced: next lookup is a clean hit *)
+      match Cache.find ~dir k with
+      | Some e, Cache.Hit -> check_entry_equal "repaired entry" cold e
+      | _ -> Alcotest.fail "entry not repaired after corruption")
+
+let truncate raw = String.sub raw 0 (String.length raw / 2)
+
+let flip_payload_byte raw =
+  let b = Bytes.of_string raw in
+  let i = String.length raw - 1 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  Bytes.to_string b
+
+let bad_header _raw = "not a cache entry\njunk"
+
+(* metrics JSON (the --json observability satellite): solver work
+   counters are present and positive on a real analysis *)
+let metrics_json_has_solver_counters () =
+  let a = app () in
+  let t = Pipeline.analyze ~file:a.Corpus.name a.Corpus.source in
+  let json = Nadroid_core.Report.metrics_to_json ~name:a.Corpus.name t.Pipeline.metrics in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (key ^ " present in metrics json")
+        true
+        (Astring.String.is_infix ~affix:(Printf.sprintf "\"%s\":" key) json))
+    [ "pta_visits"; "pta_steps" ];
+  Alcotest.(check bool) "visits counted" true (t.Pipeline.metrics.Pipeline.m_pta_visits > 0);
+  Alcotest.(check bool) "steps counted" true (t.Pipeline.metrics.Pipeline.m_pta_steps > 0)
+
+let suite =
+  [
+    ( "cache",
+      [
+        Alcotest.test_case "warm hit is byte-identical to cold run" `Quick
+          warm_hit_is_byte_identical;
+        Alcotest.test_case "source edit busts the address" `Quick source_edit_busts;
+        Alcotest.test_case "config change busts the address" `Quick config_change_busts;
+        Alcotest.test_case "version bump busts the address" `Quick version_bump_busts;
+        Alcotest.test_case "truncated entry = surfaced miss" `Quick
+          (corruption_is_a_surfaced_miss truncate);
+        Alcotest.test_case "bit-flipped entry = surfaced miss" `Quick
+          (corruption_is_a_surfaced_miss flip_payload_byte);
+        Alcotest.test_case "foreign file = surfaced miss" `Quick
+          (corruption_is_a_surfaced_miss bad_header);
+        Alcotest.test_case "metrics json carries solver work counters" `Quick
+          metrics_json_has_solver_counters;
+      ] );
+  ]

@@ -159,9 +159,45 @@ let monotone_under_new_facts =
       Engine.fact db "edge" [ fst extra; snd extra ];
       Engine.cardinal db "path" >= before)
 
+(* [Relation.add] must maintain existing column indexes in place: after
+   inserts, lookups through a pre-built index see exactly the tuples a
+   fresh scan would, and the index is neither dropped nor duplicated. *)
+let index_survives_inserts () =
+  let r = Relation.create ~name:"t" ~arity:2 in
+  ignore (Relation.add r [| 1; 10 |]);
+  ignore (Relation.add r [| 2; 20 |]);
+  (* build indexes on both columns, then insert more tuples *)
+  let lookup0 k = Relation.lookup r ~cols:[ 0 ] ~key:[ k ] in
+  let lookup1 k = Relation.lookup r ~cols:[ 1 ] ~key:[ k ] in
+  Alcotest.(check int) "col0 pre-insert" 1 (List.length (lookup0 1));
+  Alcotest.(check int) "col1 pre-insert" 1 (List.length (lookup1 20));
+  Alcotest.(check int) "two live indexes" 2 (Relation.n_indexes r);
+  Alcotest.(check bool) "insert is new" true (Relation.add r [| 1; 30 |]);
+  Alcotest.(check bool) "duplicate rejected" false (Relation.add r [| 1; 30 |]);
+  ignore (Relation.add r [| 3; 20 |]);
+  Alcotest.(check int) "indexes survive inserts" 2 (Relation.n_indexes r);
+  let sorted l = List.sort compare (List.map Array.to_list l) in
+  Alcotest.(check (list (list int)))
+    "col0 bucket updated in place"
+    [ [ 1; 10 ]; [ 1; 30 ] ]
+    (sorted (lookup0 1));
+  Alcotest.(check (list (list int)))
+    "col1 bucket updated in place"
+    [ [ 2; 20 ]; [ 3; 20 ] ]
+    (sorted (lookup1 20));
+  Alcotest.(check (list (list int))) "fresh bucket visible" [ [ 3; 20 ] ] (sorted (lookup0 3));
+  Alcotest.(check (list (list int))) "absent key still empty" [] (sorted (lookup0 99));
+  Alcotest.(check int) "lookups created no extra indexes" 2 (Relation.n_indexes r);
+  (* a full unindexed scan agrees with the maintained indexes *)
+  Alcotest.(check int) "cardinal" 4 (Relation.cardinal r);
+  Alcotest.(check (list (list int)))
+    "index union = relation"
+    (sorted (Relation.to_list r))
+    (sorted (List.concat_map lookup0 [ 1; 2; 3 ]))
+
 let suite =
   [
-    ("datalog", tests);
+    ("datalog", tests @ [ Alcotest.test_case "indexes survive inserts" `Quick index_survives_inserts ]);
     ( "datalog-properties",
       List.map QCheck_alcotest.to_alcotest [ closure_matches_naive; monotone_under_new_facts ]
     );

@@ -192,12 +192,49 @@ let degraded_superset_on_synth =
       let keys t = List.map Detect.warning_key t.Pipeline.after_unsound in
       List.for_all (fun k -> List.mem k (keys degraded)) (keys full))
 
+module Pta = Nadroid_analysis.Pta
+
+let lower ~file src =
+  Nadroid_ir.Prog.of_sema (Nadroid_lang.Sema.of_source ~file src)
+
+(* The worklist solver is gated on bit-identical equivalence with the
+   snapshot-iterate-all reference solver: same objects, instances,
+   points-to sets, call edges and roots — which is what keeps the golden
+   reports byte-stable across the solver switch. *)
+let worklist_equals_reference_on_synth =
+  QCheck2.Test.make ~name:"worklist PTA equals the reference solver on generated apps"
+    ~count:200
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let src, _ = Synth.render (Synth.generate ~seed) in
+      let prog = lower ~file:"synth" src in
+      Pta.equal_results (Pta.run prog) (Pta.run_reference prog))
+
+let worklist_equals_reference_on_corpus () =
+  List.iter
+    (fun (app : Nadroid_corpus.Corpus.app) ->
+      let prog = lower ~file:app.Nadroid_corpus.Corpus.name app.Nadroid_corpus.Corpus.source in
+      let w = Pta.run prog and r = Pta.run_reference prog in
+      Alcotest.(check bool)
+        (app.Nadroid_corpus.Corpus.name ^ ": worklist = reference") true
+        (Pta.equal_results w r);
+      Alcotest.(check bool)
+        (app.Nadroid_corpus.Corpus.name ^ ": worklist does not visit more") true
+        (Pta.visits w <= Pta.visits r && Pta.steps w <= Pta.steps r))
+    (Lazy.force Nadroid_corpus.Corpus.all)
+
 let suite =
   [
     ( "composition",
       List.map QCheck_alcotest.to_alcotest
         [ composition; random_walks_do_not_raise; generated_sources_reanalyze_deterministically ]
     );
+    ( "pta-equivalence",
+      QCheck_alcotest.to_alcotest worklist_equals_reference_on_synth
+      :: [
+           Alcotest.test_case "worklist equals reference on all corpus apps" `Quick
+             worklist_equals_reference_on_corpus;
+         ] );
     ( "join-and-parallel",
       List.map QCheck_alcotest.to_alcotest
         [ indexed_join_equals_naive; analyze_all_is_jobs_invariant ] );

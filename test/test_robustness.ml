@@ -82,6 +82,65 @@ let degraded_superset () =
         (List.mem k (keys degraded)))
     (keys full)
 
+(* Budget auto-calibration headroom: the LOC-derived default budget must
+   leave every corpus app fully precise — a degradation under the default
+   config would mean the calibration constant regressed. *)
+let auto_budget_headroom () =
+  Alcotest.(check int) "derived floor" 5_500 (Pipeline.auto_pta_steps ~loc:1);
+  List.iter
+    (fun (app : Corpus.app) ->
+      let t = Pipeline.analyze ~file:app.Corpus.name app.Corpus.source in
+      (match t.Pipeline.config.Pipeline.budgets.Pipeline.pta_steps with
+      | Some s ->
+          Alcotest.(check bool)
+            (app.Corpus.name ^ ": budget derived from loc") true
+            (s = Pipeline.auto_pta_steps ~loc:(Pipeline.count_loc app.Corpus.source))
+      | None -> Alcotest.fail (app.Corpus.name ^ ": no derived budget"));
+      Alcotest.(check (list string))
+        (app.Corpus.name ^ ": undegraded under the derived budget")
+        []
+        (List.map Pipeline.degradation_to_string t.Pipeline.metrics.Pipeline.m_degraded))
+    (Lazy.force Corpus.all)
+
+(* The degrade ladder engages at the derived budget too: squashing a
+   source onto one line drives the LOC-derived budget to its 5,500-step
+   floor, which InstaMaterial's k=2 and k=1 solves exhaust while k=0
+   still fits — so [Pipeline.analyze] with no explicit budget must come
+   back degraded-to-k=0 with a warning superset of the full-precision
+   run. *)
+let degrade_ladder_at_derived_budget () =
+  let app =
+    match Corpus.find "InstaMaterial" with
+    | Some a -> a
+    | None -> Alcotest.fail "no InstaMaterial"
+  in
+  let squashed =
+    String.concat " "
+      (List.filter
+         (fun l ->
+           let l = String.trim l in
+           (not (String.equal l ""))
+           && not (String.length l >= 2 && l.[0] = '/' && l.[1] = '/'))
+         (String.split_on_char '\n' app.Corpus.source))
+  in
+  Alcotest.(check int) "squashed to one line" 1 (Pipeline.count_loc squashed);
+  let t = Pipeline.analyze ~file:"one-line" squashed in
+  Alcotest.(check (option int))
+    "budget derived at the floor" (Some (Pipeline.auto_pta_steps ~loc:1))
+    t.Pipeline.config.Pipeline.budgets.Pipeline.pta_steps;
+  Alcotest.(check (list string))
+    "degraded to k=0" [ "pta-k=0" ]
+    (List.map Pipeline.degradation_to_string t.Pipeline.metrics.Pipeline.m_degraded);
+  let full = Pipeline.analyze_prog t.Pipeline.prog in
+  let keys r = List.map Detect.warning_key r.Pipeline.after_unsound in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Fmt.str "full-precision warning %s survives the derived-budget ladder" (fst k))
+        true
+        (List.mem k (keys t)))
+    (keys full)
+
 let chaos_smoke () =
   let s = Chaos.run ~jobs:2 ~seed:7 ~mutants:48 (Lazy.force Corpus.all) in
   Alcotest.(check int) "all mutants ran" 48 s.Chaos.s_mutants;
@@ -117,6 +176,9 @@ let suite =
         QCheck_alcotest.to_alcotest truncation_prop;
         Alcotest.test_case "poisoned corpus app fails alone" `Quick poisoned_corpus;
         Alcotest.test_case "starved PTA degrades to a warning superset" `Quick degraded_superset;
+        Alcotest.test_case "auto budget leaves the corpus undegraded" `Quick auto_budget_headroom;
+        Alcotest.test_case "degrade ladder engages at the derived budget" `Quick
+          degrade_ladder_at_derived_budget;
         Alcotest.test_case "chaos smoke finds nothing on the corpus" `Slow chaos_smoke;
         Alcotest.test_case "mutator is deterministic per (seed, index)" `Quick
           mutate_deterministic;
