@@ -23,8 +23,9 @@ module Fault = Nadroid_core.Fault
 module Cache = Nadroid_core.Cache
 
 (* Corpus batch through the analysis cache (crash-isolated, like
-   {!Corpus.analyze_all}); results are cache entries. *)
-let analyze_all_cached ?config ~jobs ~dir (apps : Corpus.app list) :
+   {!Corpus.analyze_all}); results are cache entries. [max_bytes] caps
+   the cache directory across the batch (LRU eviction after stores). *)
+let analyze_all_cached ?config ?max_bytes ~jobs ~dir (apps : Corpus.app list) :
     (Corpus.app * (Cache.entry * Cache.outcome, Fault.t) result) list =
   ignore (Lazy.force Nadroid_lang.Builtins.program);
   List.map2
@@ -32,7 +33,7 @@ let analyze_all_cached ?config ~jobs ~dir (apps : Corpus.app list) :
     apps
     (Nadroid_core.Parallel.map_result ~jobs
        (fun (app : Corpus.app) ->
-         Cache.analyze ?config ~dir ~file:app.Corpus.name app.Corpus.source)
+         Cache.analyze ?config ?max_bytes ~dir ~file:app.Corpus.name app.Corpus.source)
        apps)
 
 (* ---------------------------------------------------------------- *)
@@ -329,7 +330,7 @@ let timing_json ~jobs ~elapsed entries =
        m d f sum wall elapsed);
   print_endline (Buffer.contents buf)
 
-let timing ~jobs ~json ~cache () =
+let timing ~jobs ~json ~cache ~cache_max_bytes () =
   (* [elapsed] is the batch wall clock; under [jobs] > 1 the per-app wall
      times overlap, so their sum exceeds it. *)
   let t0 = Unix.gettimeofday () in
@@ -339,7 +340,7 @@ let timing ~jobs ~json ~cache () =
         List.map
           (fun (app, (e, _outcome)) -> (app, e))
           (Eval.keep_ok ~what:"timing" ~name:Eval.app_name
-             (analyze_all_cached ~jobs ~dir (Lazy.force Corpus.all)))
+             (analyze_all_cached ?max_bytes:cache_max_bytes ~jobs ~dir (Lazy.force Corpus.all)))
     | None ->
         List.map
           (fun (app, t) -> (app, Cache.entry_of_result t))
@@ -409,11 +410,22 @@ let timing ~jobs ~json ~cache () =
 (* perf: cold vs warm vs reference                                    *)
 (* ---------------------------------------------------------------- *)
 
-(* Flat directory of cache entries; refuses to recurse. *)
+(* Clear a scratch cache directory. Only entries the cache itself writes
+   ([*.cache] and orphaned [.tmp.*] files) are removed — a foreign file
+   or subdirectory is left alone rather than faulting the whole bench
+   run, and the rmdir then simply doesn't happen. Removals tolerate
+   races with concurrent evictors/writers. *)
 let rm_cache_dir dir =
   if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-    Unix.rmdir dir
+    (match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | names ->
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".cache" || String.length f >= 5 && String.sub f 0 5 = ".tmp."
+            then try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          names);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
   end
 
 let bench_json_file = "BENCH_4.json"
@@ -422,13 +434,16 @@ let bench_json_file = "BENCH_4.json"
    dir), warm (same dir — every analysis a cache hit) and reference
    (the snapshot re-iterate-all solver, uncached). Under --json the
    document also lands in BENCH_4.json. *)
-let perf ~jobs ~json ~cache_dir () =
+let perf ~jobs ~json ~cache_dir ~cache_max_bytes () =
   let apps = Lazy.force Corpus.all in
   let dir = Filename.concat cache_dir (Printf.sprintf "perf.%d" (Unix.getpid ())) in
   rm_cache_dir dir;
   let cached_batch what =
     let t0 = Unix.gettimeofday () in
-    let rs = Eval.keep_ok ~what ~name:Eval.app_name (analyze_all_cached ~jobs ~dir apps) in
+    let rs =
+      Eval.keep_ok ~what ~name:Eval.app_name
+        (analyze_all_cached ?max_bytes:cache_max_bytes ~jobs ~dir apps)
+    in
     (rs, Unix.gettimeofday () -. t0)
   in
   let cold_raw, cold_elapsed = cached_batch "perf-cold" in
@@ -713,16 +728,19 @@ let extension () =
 let () =
   (* usage: main.exe [EXPERIMENT] [--jobs N] [--json]
                      [--cache] [--no-cache] [--cache-dir DIR]
+                     [--cache-max-bytes BYTES]
      --jobs parallelizes the corpus drivers over N domains (default: all
      cores); --json makes `timing`/`perf` emit machine-readable bench
      points (perf also writes BENCH_4.json) and switches every batch
      failure inventory to JSON lines on stderr; --cache routes `timing`
      through the analysis cache; `perf` always uses a scratch cache
-     under --cache-dir. *)
+     under --cache-dir; --cache-max-bytes LRU-evicts the cache to that
+     size after each store. *)
   let which = ref "all" and jobs = ref (Nadroid_core.Parallel.default_jobs ()) and json = ref false in
   let use_cache = ref false
   and no_cache = ref false
-  and cache_dir = ref Nadroid_core.Cache.default_dir in
+  and cache_dir = ref Nadroid_core.Cache.default_dir
+  and cache_max_bytes = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
@@ -737,6 +755,13 @@ let () =
     | "--cache-dir" :: dir :: rest ->
         cache_dir := dir;
         parse rest
+    | "--cache-max-bytes" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some b when b >= 0 -> cache_max_bytes := Some b
+        | Some _ | None ->
+            Printf.eprintf "--cache-max-bytes expects a non-negative integer, got %s\n" n;
+            exit 2);
+        parse rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with
         | Some j when j >= 1 -> jobs := j
@@ -750,7 +775,7 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = !jobs and json = !json in
-  let cache_dir = !cache_dir in
+  let cache_dir = !cache_dir and cache_max_bytes = !cache_max_bytes in
   let cache = if !use_cache && not !no_cache then Some cache_dir else None in
   (* under --json, batch failure inventories also go out as JSON lines *)
   Eval.json_faults := json;
@@ -762,8 +787,8 @@ let () =
       ("fig5", fig5 ~jobs);
       ("table2", table2 ~jobs);
       ("table3", table3);
-      ("timing", timing ~jobs ~json ~cache);
-      ("perf", perf ~jobs ~json ~cache_dir);
+      ("timing", timing ~jobs ~json ~cache ~cache_max_bytes);
+      ("perf", perf ~jobs ~json ~cache_dir ~cache_max_bytes);
       ("ablation", ablation);
       ("extension", extension);
     ]

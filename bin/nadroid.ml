@@ -9,6 +9,7 @@
      nadroid fuzz                   chaos-fuzz the runtime over corpus mutants
      nadroid difftest               differential soundness test on generated apps
      nadroid golden                 diff/bless the corpus golden reports
+     nadroid synth                  print a generated app (random or adversarial)
      nadroid corpus [NAME]          list corpus apps / dump one source
 
    Exit codes follow the fault taxonomy: 0 ok, 1 frontend diagnostic,
@@ -50,14 +51,26 @@ let budget_pta_arg =
           "points-to step budget; on exhaustion the analysis retries with a coarser context \
            depth (sound: may over-report) before giving up")
 
+let budget_tuples_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-tuples" ] ~docv:"N"
+        ~doc:
+          "memory ceiling: live relation tuples across the points-to table and the detection \
+           join; on exhaustion the points-to solver retries with a coarser context depth \
+           (sound: may over-report) before giving up")
+
 let deadline_arg =
   Arg.(
     value
     & opt (some float) None
     & info [ "deadline" ] ~docv:"SECS"
         ~doc:
-          "wall-clock deadline; filters that would start past it are skipped (sound: may \
-           over-report)")
+          "wall-clock deadline, enforced in-flight: the running analysis is cancelled at the \
+           next checkpoint and degrades soundly (coarser points-to, skipped filters — may \
+           over-report) or fails with the budget exit code when no sound partial result \
+           remains")
 
 let budget_explorer_arg =
   Arg.(
@@ -66,8 +79,8 @@ let budget_explorer_arg =
     & info [ "budget-explorer" ] ~docv:"N"
         ~doc:"cap on dynamic-validation schedules (can only lose witnesses)")
 
-let budgets pta_steps deadline explorer_schedules =
-  { Pipeline.pta_steps; deadline; explorer_schedules }
+let budgets pta_steps pta_tuples deadline explorer_schedules =
+  { Pipeline.pta_steps; pta_tuples; deadline; explorer_schedules }
 
 (* -- analysis-cache flags (analyze, golden) ------------------------------ *)
 
@@ -88,6 +101,15 @@ let cache_dir_arg =
     & opt string Nadroid_core.Cache.default_dir
     & info [ "cache-dir" ] ~docv:"DIR"
         ~doc:"cache directory (default $(b,_nadroid_cache)); created on first store")
+
+let cache_max_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "cap the cache directory size: after each store, least-recently-used entries are \
+           evicted until the combined $(b,*.cache) size is at most $(docv)")
 
 let cache_enabled cache no_cache = cache && not no_cache
 
@@ -136,15 +158,15 @@ let analyze_cmd =
             "machine-readable output: one JSON object with per-file warning counts and the \
              fault inventory, instead of the human report")
   in
-  let run files k sound_only jobs timings json budget_pta deadline budget_explorer cache
-      no_cache cache_dir =
+  let run files k sound_only jobs timings json budget_pta budget_tuples deadline
+      budget_explorer cache no_cache cache_dir cache_max_bytes =
     let module Cache = Nadroid_core.Cache in
     let config =
       {
         Pipeline.default_config with
         Pipeline.k;
         unsound = (if sound_only then [] else Filters.unsound);
-        budgets = budgets budget_pta deadline budget_explorer;
+        budgets = budgets budget_pta budget_tuples deadline budget_explorer;
       }
     in
     let use_cache = cache_enabled cache no_cache in
@@ -162,7 +184,8 @@ let analyze_cmd =
         (Nadroid_core.Parallel.map_result ~jobs
            (fun path ->
              let src = read_file path in
-             if use_cache then Cache.analyze ~config ~dir:cache_dir ~file:path src
+             if use_cache then
+               Cache.analyze ~config ?max_bytes:cache_max_bytes ~dir:cache_dir ~file:path src
              else
                (Cache.entry_of_result (Pipeline.analyze ~config ~file:path src), Cache.Miss))
            files)
@@ -208,15 +231,19 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"statically detect UAF ordering violations")
     Term.(
       const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg $ json_arg
-      $ budget_pta_arg $ deadline_arg $ budget_explorer_arg $ cache_arg $ no_cache_arg
-      $ cache_dir_arg)
+      $ budget_pta_arg $ budget_tuples_arg $ deadline_arg $ budget_explorer_arg $ cache_arg
+      $ no_cache_arg $ cache_dir_arg $ cache_max_bytes_arg)
 
 let validate_cmd =
   let runs_arg =
     Arg.(value & opt int 150 & info [ "runs" ] ~doc:"random schedules per warning")
   in
-  let run path k runs budget_pta deadline budget_explorer =
-    let t = analyze_pipeline ~budgets:(budgets budget_pta deadline budget_explorer) path k false in
+  let run path k runs budget_pta budget_tuples deadline budget_explorer =
+    let t =
+      analyze_pipeline
+        ~budgets:(budgets budget_pta budget_tuples deadline budget_explorer)
+        path k false
+    in
     (* the explorer budget caps schedules tried per warning *)
     let runs = match budget_explorer with Some b -> min runs b | None -> runs in
     List.iter
@@ -237,8 +264,8 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"dynamically validate surviving warnings")
     Term.(
-      const run $ file_arg $ k_arg $ runs_arg $ budget_pta_arg $ deadline_arg
-      $ budget_explorer_arg)
+      const run $ file_arg $ k_arg $ runs_arg $ budget_pta_arg $ budget_tuples_arg
+      $ deadline_arg $ budget_explorer_arg)
 
 let forest_cmd =
   let run path k =
@@ -472,6 +499,32 @@ let golden_cmd =
           cache (the cold-then-warm CI gate)")
     Term.(const run $ dir_arg $ bless_arg $ jobs_arg $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
+let synth_cmd =
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"generation seed") in
+  let size_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "size" ] ~docv:"N" ~doc:"size parameter for --adversarial (default 12)")
+  in
+  let adversarial_arg =
+    Arg.(
+      value & flag
+      & info [ "adversarial" ]
+          ~doc:
+            "emit the deadline-pathology app (filter phase superlinear in $(b,--size)) instead \
+             of a random well-typed app")
+  in
+  let run seed size adversarial =
+    if adversarial then print_string (Nadroid_corpus.Synth.adversarial ~seed ~size)
+    else print_string (fst (Nadroid_corpus.Synth.render (Nadroid_corpus.Synth.generate ~seed)))
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "print a generated MiniAndroid app: random well-typed by default, or the adversarial \
+          deadline-pathology app with --adversarial")
+    Term.(const run $ seed_arg $ size_arg $ adversarial_arg)
+
 let corpus_cmd =
   let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
   let run name =
@@ -512,5 +565,6 @@ let () =
             fuzz_cmd;
             difftest_cmd;
             golden_cmd;
+            synth_cmd;
             corpus_cmd;
           ]))

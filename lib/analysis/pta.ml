@@ -108,6 +108,12 @@ type t = {
   (* resource budget: instruction transfers executed / allowed *)
   mutable steps : int;
   budget : int option;
+  (* memory budget: live points-to tuples (cell, object) stored / allowed.
+     Counted only when a ceiling is set, so unbudgeted runs pay nothing. *)
+  mutable tuples : int;
+  tuple_budget : int option;
+  (* absolute wall-clock bound, checked every 1024 steps *)
+  deadline : float option;
   (* worklist machinery — inert under the reference solver *)
   deps : (node, IntSet.t ref) Hashtbl.t;  (* cell -> instances that read it *)
   mutable sched_cur : Bytes.t;  (* dirty instances, current round *)
@@ -125,7 +131,7 @@ type solver = Worklist | Reference
 
 exception Out_of_budget
 
-let create ?(k = 2) ?budget (prog : Prog.t) : t =
+let create ?(k = 2) ?budget ?tuple_budget ?deadline (prog : Prog.t) : t =
   {
     prog;
     k;
@@ -144,6 +150,9 @@ let create ?(k = 2) ?budget (prog : Prog.t) : t =
     passes = 0;
     steps = 0;
     budget;
+    tuples = 0;
+    tuple_budget;
+    deadline;
     deps = Hashtbl.create 1024;
     sched_cur = Bytes.make 256 '\000';
     sched_next = Bytes.make 256 '\000';
@@ -254,17 +263,30 @@ let wake_readers t node =
     | Some rs -> IntSet.iter (schedule t) !rs
     | None -> ()
 
+(* Tuple accounting costs a [cardinal] per grown cell, so it is skipped
+   entirely when no ceiling is set. A raise here discards the whole
+   solver state, so the counter/table ordering is immaterial. *)
+let bump_tuples t b delta =
+  t.tuples <- t.tuples + delta;
+  if t.tuples > b then raise Out_of_budget
+
 let add_pts t node objs =
   if not (IntSet.is_empty objs) then
     match Hashtbl.find_opt t.pts node with
     | Some s ->
         let u = IntSet.union !s objs in
         if not (IntSet.equal u !s) then begin
+          (match t.tuple_budget with
+          | None -> ()
+          | Some b -> bump_tuples t b (IntSet.cardinal u - IntSet.cardinal !s));
           s := u;
           t.changed <- true;
           wake_readers t node
         end
     | None ->
+        (match t.tuple_budget with
+        | None -> ()
+        | Some b -> bump_tuples t b (IntSet.cardinal objs));
         Hashtbl.add t.pts node (ref objs);
         t.changed <- true;
         wake_readers t node
@@ -517,11 +539,17 @@ let seed_roots t =
 
 (* One budget tick per instruction transfer. The count is deterministic
    for a given program and k, which keeps budget-exhaustion behaviour
-   reproducible in tests (unlike a wall-clock deadline). *)
+   reproducible in tests (unlike a wall-clock deadline). The deadline,
+   when set, is sampled every 1024 ticks so an in-flight solve overruns
+   by at most ~1024 transfers, at negligible per-tick cost. *)
 let tick t =
   t.steps <- t.steps + 1;
-  match t.budget with
+  (match t.budget with
   | Some b when t.steps > b -> raise Out_of_budget
+  | Some _ | None -> ());
+  match t.deadline with
+  | Some d when t.steps land 1023 = 0 && Unix.gettimeofday () > d ->
+      raise Out_of_budget
   | Some _ | None -> ()
 
 let visit t i =
@@ -593,8 +621,8 @@ let run ?solver ?k prog =
 
 let run_reference ?k prog = run ~solver:Reference ?k prog
 
-let run_budgeted ~steps ?solver ?k prog =
-  let t = create ?k ~budget:steps prog in
+let run_budgeted ?steps ?tuples ?deadline ?solver ?k prog =
+  let t = create ?k ?budget:steps ?tuple_budget:tuples ?deadline prog in
   match solve ?solver t with () -> Some t | exception Out_of_budget -> None
 
 let pts_var t ~inst ~(v : Instr.var) : IntSet.t = get_pts t (Nvar (inst, v.Instr.v_id))
@@ -618,6 +646,8 @@ let passes t = t.passes
 let visits t = t.visits
 
 let steps t = t.steps
+
+let tuples t = t.tuples
 
 (* Structural equality of two solved states — interning tables, points-to
    sets, call edges and roots. Used by the worklist/reference equivalence

@@ -73,6 +73,12 @@ type t = {
   mutable passes : int;
   mutable steps : int;  (** instruction transfers executed so far *)
   budget : int option;  (** step budget; [None] = unbounded *)
+  mutable tuples : int;
+      (** live points-to tuples stored so far; counted only when
+          [tuple_budget] is set *)
+  tuple_budget : int option;  (** tuple ceiling; [None] = unbounded *)
+  deadline : float option;
+      (** absolute wall-clock bound, sampled every 1024 steps *)
   deps : (node, IntSet.t ref) Hashtbl.t;
       (** worklist dependency table: cell -> reader instances *)
   mutable sched_cur : Bytes.t;
@@ -100,11 +106,22 @@ val run_reference : ?k:int -> Prog.t -> t
 (** {!run} with the snapshot-iterate-all reference solver — the oracle
     for the worklist equivalence property. *)
 
-val run_budgeted : steps:int -> ?solver:solver -> ?k:int -> Prog.t -> t option
-(** Like {!run} but bounded: one step is one instruction transfer, so the
-    bound is deterministic for a given program, [k] and [solver] (the
-    worklist executes fewer transfers than the reference). Returns [None]
-    when the budget runs out before the fixpoint is reached. *)
+val run_budgeted :
+  ?steps:int ->
+  ?tuples:int ->
+  ?deadline:float ->
+  ?solver:solver ->
+  ?k:int ->
+  Prog.t ->
+  t option
+(** Like {!run} but bounded. [steps] caps instruction transfers (one step
+    per transfer, so the bound is deterministic for a given program, [k]
+    and [solver]; the worklist executes fewer transfers than the
+    reference). [tuples] caps the live points-to table cardinality — a
+    memory ceiling. [deadline] is an absolute [Unix.gettimeofday] instant
+    sampled every 1024 steps, so an in-flight solve overruns it by at
+    most ~1024 transfers. Returns [None] when any bound is hit before the
+    fixpoint is reached. *)
 
 val equal_results : t -> t -> bool
 (** Structural equality of two solved states: objects, instances,
@@ -142,6 +159,10 @@ val visits : t -> int
 
 val steps : t -> int
 (** Instruction transfers executed during the solve. *)
+
+val tuples : t -> int
+(** Live points-to tuples stored during the solve; 0 unless a tuple
+    ceiling was set (unbudgeted runs skip the accounting). *)
 
 val ordinary_succs : t -> int -> int list
 (** Ordinary-call successors of an instance (intra-thread closure);

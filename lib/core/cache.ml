@@ -20,7 +20,7 @@
 (* Bump on any change to analysis semantics or to the entry format; old
    entries then simply stop being addressed (no migration, no unmarshal
    of foreign layouts). *)
-let version = "nadroid-5"
+let version = "nadroid-6"
 
 let default_dir = "_nadroid_cache"
 
@@ -40,9 +40,11 @@ type outcome = Hit | Miss | Corrupt of Fault.t
 let config_digest (c : Pipeline.config) : string =
   let names ns = String.concat "+" (List.map Filters.name_to_string ns) in
   let opt f = function None -> "-" | Some v -> f v in
-  Printf.sprintf "k=%d;sound=%s;unsound=%s;atomic_ig=%b;pta_steps=%s;deadline=%s;sched=%s;solver=%s"
+  Printf.sprintf
+    "k=%d;sound=%s;unsound=%s;atomic_ig=%b;pta_steps=%s;pta_tuples=%s;deadline=%s;sched=%s;solver=%s"
     c.Pipeline.k (names c.Pipeline.sound) (names c.Pipeline.unsound) c.Pipeline.atomic_ig
     (opt string_of_int c.Pipeline.budgets.Pipeline.pta_steps)
+    (opt string_of_int c.Pipeline.budgets.Pipeline.pta_tuples)
     (opt string_of_float c.Pipeline.budgets.Pipeline.deadline)
     (opt string_of_int c.Pipeline.budgets.Pipeline.explorer_schedules)
     (match c.Pipeline.solver with
@@ -83,7 +85,13 @@ let find ~dir (k : string) : entry option * outcome =
                   (None, corrupt ("checksum mismatch in " ^ p))
                 else (
                   match (Marshal.from_string payload 0 : entry) with
-                  | e -> (Some e, Hit)
+                  | e ->
+                      (* touch the entry so LRU eviction tracks hits, not
+                         just stores; [utimes p 0 0] sets both times to
+                         "now". Best-effort: a racing eviction may have
+                         removed the file already. *)
+                      (try Unix.utimes p 0.0 0.0 with Unix.Unix_error _ -> ());
+                      (Some e, Hit)
                   | exception _ -> (None, corrupt ("undecodable entry " ^ p)))
             | _ -> (None, corrupt ("bad header in " ^ p))))
 
@@ -93,6 +101,11 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Per-process store counter: two domains of one process share a pid, so
+   a pid-only temp name let concurrent stores of the same key interleave
+   writes into one file and publish a garbled entry via [Sys.rename]. *)
+let store_seq = Atomic.make 0
+
 let store ~dir (k : string) (e : entry) : unit =
   mkdir_p dir;
   let payload = Marshal.to_string e [] in
@@ -100,7 +113,8 @@ let store ~dir (k : string) (e : entry) : unit =
     Printf.sprintf "%s %s\n" magic (Digest.to_hex (Digest.string payload))
   in
   let tmp =
-    Filename.concat dir (Printf.sprintf ".tmp.%s.%d" k (Unix.getpid ()))
+    Filename.concat dir
+      (Printf.sprintf ".tmp.%s.%d.%d" k (Unix.getpid ()) (Atomic.fetch_and_add store_seq 1))
   in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -109,6 +123,56 @@ let store ~dir (k : string) (e : entry) : unit =
       output_string oc header;
       output_string oc payload);
   Sys.rename tmp (path ~dir k)
+
+(* -- size cap / LRU eviction --------------------------------------------- *)
+
+(* Addressable entries of [dir] with their stat, skipping foreign files
+   and entries a concurrent writer/evictor removed between readdir and
+   stat. *)
+let stat_entries ~dir : (string * float * int) list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if not (Filename.check_suffix name ".cache") then None
+             else
+               let p = Filename.concat dir name in
+               match Unix.stat p with
+               | { Unix.st_kind = Unix.S_REG; st_mtime; st_size; _ } ->
+                   Some (p, st_mtime, st_size)
+               | _ | (exception Unix.Unix_error _) -> None)
+
+let dir_bytes ~dir =
+  List.fold_left (fun acc (_, _, size) -> acc + size) 0 (stat_entries ~dir)
+
+(* Bring the combined size of the [*.cache] entries under [max_bytes] by
+   removing least-recently-used entries first — mtimes order the entries
+   because both {!store} (creation) and a {!find} hit (utimes touch)
+   refresh them. Ties break on the path for determinism. Removals
+   tolerate races: losing an entry to a concurrent evictor still shrinks
+   the directory. Returns the number of entries removed. *)
+let evict ~dir ~max_bytes : int =
+  let entries =
+    List.sort
+      (fun (p1, m1, _) (p2, m2, _) -> match compare m1 m2 with 0 -> compare p1 p2 | c -> c)
+      (stat_entries ~dir)
+  in
+  let total = List.fold_left (fun acc (_, _, size) -> acc + size) 0 entries in
+  let removed = ref 0 in
+  let excess = ref (total - max_bytes) in
+  List.iter
+    (fun (p, _, size) ->
+      if !excess > 0 then begin
+        (try
+           Sys.remove p;
+           incr removed
+         with Sys_error _ -> ());
+        (* count a racing removal as shrinkage too — the bytes are gone *)
+        excess := !excess - size
+      end)
+    entries;
+  !removed
 
 let entry_of_result (t : Pipeline.t) : entry =
   {
@@ -122,8 +186,11 @@ let entry_of_result (t : Pipeline.t) : entry =
 (* Cached front door: serve the entry on a hit, otherwise analyze, store
    and return the fresh entry. The outcome tells the caller whether the
    result came from the cache and whether a corrupt entry was replaced —
-   a corrupt entry never influences the returned result. *)
-let analyze ?config ~dir ~file (src : string) : entry * outcome =
+   a corrupt entry never influences the returned result. [max_bytes]
+   caps the directory size: eviction runs opportunistically after each
+   store, and the just-stored entry carries the newest mtime, so it is
+   the last candidate to go. *)
+let analyze ?config ?max_bytes ~dir ~file (src : string) : entry * outcome =
   let config = Option.value config ~default:Pipeline.default_config in
   let k = key ~config src in
   match find ~dir k with
@@ -132,5 +199,6 @@ let analyze ?config ~dir ~file (src : string) : entry * outcome =
       let t = Pipeline.analyze ~config ~file src in
       let e = entry_of_result t in
       store ~dir k e;
+      (match max_bytes with Some mb -> ignore (evict ~dir ~max_bytes:mb) | None -> ());
       (e, outcome)
   | None, Hit -> assert false

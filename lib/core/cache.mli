@@ -32,20 +32,44 @@ val key : ?version:string -> config:Pipeline.config -> string -> string
 (** [key ~config src] is the hex cache address of analyzing [src] under
     [config]; [?version] overrides {!version} (tests). *)
 
+val path : dir:string -> string -> string
+(** On-disk path of an address ([<dir>/<key>.cache]); exposed for tests
+    that manipulate entry mtimes directly. *)
+
 val find : dir:string -> string -> entry option * outcome
 (** Look an address up. [(Some e, Hit)] on an intact entry; [(None,
     Miss)] when absent; [(None, Corrupt f)] when present but unreadable,
-    truncated, checksum-broken or undecodable. *)
+    truncated, checksum-broken or undecodable. A hit touches the entry's
+    mtime so LRU eviction tracks recency of use, not just of storage. *)
 
 val store : dir:string -> string -> entry -> unit
 (** Write an entry atomically (temp file + rename), creating [dir] as
-    needed. *)
+    needed. The temp name is unique per store — pid alone is not enough,
+    since domains share one — so concurrent stores of the same key never
+    interleave into one temp file. *)
+
+val dir_bytes : dir:string -> int
+(** Combined size of the [*.cache] entries in [dir] (foreign files are
+    not counted). *)
+
+val evict : dir:string -> max_bytes:int -> int
+(** Bring the combined [*.cache] size of [dir] under [max_bytes] by
+    removing least-recently-used entries (mtime order, path tie-break).
+    Foreign files are untouched; removal races are tolerated. Returns
+    the number of entries removed. *)
 
 val entry_of_result : Pipeline.t -> entry
 
 val analyze :
-  ?config:Pipeline.config -> dir:string -> file:string -> string -> entry * outcome
+  ?config:Pipeline.config ->
+  ?max_bytes:int ->
+  dir:string ->
+  file:string ->
+  string ->
+  entry * outcome
 (** Cached {!Pipeline.analyze}: serve the entry on a hit; otherwise (miss
     or corrupt entry) analyze, store and return the fresh entry together
     with the outcome that forced the work. Analysis faults propagate
-    as exceptions exactly like {!Pipeline.analyze}. *)
+    as exceptions exactly like {!Pipeline.analyze}. [max_bytes] runs
+    {!evict} opportunistically after the store; the fresh entry carries
+    the newest mtime, so it is evicted last. *)

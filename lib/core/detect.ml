@@ -42,8 +42,22 @@ let warning_key w = (site_key w.w_use, site_key w.w_free)
 
 let field_key (fr : Instr.fref) = fr.Sema.fr_class ^ "." ^ fr.Sema.fr_name
 
+(* Periodic wall-clock checkpoint for in-flight cancellation. A partial
+   warning list would silently lose coverage (detection must be complete
+   for the report to be sound), so expiry here is a hard fault. The
+   clock is sampled every 256 calls to keep the common path cheap. *)
+let deadline_checkpoint = function
+  | None -> fun () -> ()
+  | Some d ->
+      let n = ref 0 in
+      fun () ->
+        incr n;
+        if !n land 255 = 0 && Unix.gettimeofday () > d then
+          raise (Fault.Fault (Fault.Budget Fault.P_detect))
+
 (* Collect uses and frees per thread. *)
-let collect_accesses (tf : Threadify.t) : access list * access list =
+let collect_accesses ?deadline (tf : Threadify.t) : access list * access list =
+  let checkpoint = deadline_checkpoint deadline in
   let pta = tf.Threadify.pta in
   let prog = pta.Pta.prog in
   let uses = ref [] and frees = ref [] in
@@ -58,6 +72,7 @@ let collect_accesses (tf : Threadify.t) : access list * access list =
             | Some body ->
                 Cfg.iter_instrs
                   (fun ins ->
+                    checkpoint ();
                     let site = { s_inst = inst_id; s_mref = inst.Pta.i_mref; s_instr = ins } in
                     match ins.Instr.i with
                     | Instr.Getfield (_, o, fr) ->
@@ -154,9 +169,10 @@ let solve_race db : (int * int) list =
    fields of uses_f * frees_f) instead of the |uses| * |frees| global
    cross-product with a string comparison per pair. The Datalog [race]
    join itself is unchanged, mirroring Chord's bddbddb pipeline. *)
-let candidate_join (esc : Escape.t) (uses : access array) (frees : access array) :
-    (int * int) list =
-  let db = Nadroid_datalog.Engine.create () in
+let candidate_join ?deadline ?max_tuples (esc : Escape.t) (uses : access array)
+    (frees : access array) : (int * int) list =
+  let checkpoint = deadline_checkpoint deadline in
+  let db = Nadroid_datalog.Engine.create ?max_tuples () in
   let sym = Nadroid_datalog.Engine.symbols db in
   let uid i = "u" ^ string_of_int i and fid i = "f" ^ string_of_int i in
   (* intern every access's field key once, up front *)
@@ -184,6 +200,7 @@ let candidate_join (esc : Escape.t) (uses : access array) (frees : access array)
       | Some frees_of_key ->
           List.iter
             (fun j ->
+              checkpoint ();
               let b = frees.(j) in
               if a.a_thread <> b.a_thread && alias_memory esc a b then
                 alias := [ uid i; fid j ] :: !alias)
@@ -213,8 +230,8 @@ let candidate_join_naive (esc : Escape.t) (uses : access array) (frees : access 
 (* Detect all potential UAF warnings, deduplicated to (use site, free
    site) pairs as in the paper ("each warning is a pair of free-use
    operations", §8.3). *)
-let run_with ~join (tf : Threadify.t) (esc : Escape.t) : warning list =
-  let uses_l, frees_l = collect_accesses tf in
+let run_with ?deadline ~join (tf : Threadify.t) (esc : Escape.t) : warning list =
+  let uses_l, frees_l = collect_accesses ?deadline tf in
   let uses = Array.of_list uses_l and frees = Array.of_list frees_l in
   let pairs = join esc uses frees in
   (* pair membership is tracked per warning in a hash set (the pair list
@@ -246,7 +263,13 @@ let run_with ~join (tf : Threadify.t) (esc : Escape.t) : warning list =
     pairs;
   List.rev_map (fun key -> !(fst (Hashtbl.find table key))) !order
 
-let run tf esc = run_with ~join:candidate_join tf esc
+let run ?deadline ?max_tuples tf esc =
+  try run_with ?deadline ~join:(candidate_join ?deadline ?max_tuples) tf esc
+  with Nadroid_datalog.Relation.Out_of_budget ->
+    (* the candidate join blew the relation cardinality ceiling; unlike
+       the PTA there is no coarser precision to fall back to, so this is
+       a hard budget fault *)
+    raise (Fault.Fault (Fault.Budget Fault.P_detect))
 
 let run_reference tf esc = run_with ~join:candidate_join_naive tf esc
 

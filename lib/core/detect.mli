@@ -46,12 +46,17 @@ val warning_key : warning -> string * string
 
 val field_key : Instr.fref -> string
 
-val run : Threadify.t -> Escape.t -> warning list
+val run : ?deadline:float -> ?max_tuples:int -> Threadify.t -> Escape.t -> warning list
 (** All potential UAFs, deduplicated to (use site, free site) pairs as
     in the paper ("each warning is a pair of free-use operations").
     The candidate join buckets accesses by interned field key before
     generating alias facts, so pair enumeration is linear in the
-    per-field use/free products. *)
+    per-field use/free products.
+
+    [deadline] (absolute instant) is sampled periodically during access
+    collection and alias enumeration; [max_tuples] caps the Datalog
+    database cardinality. A partial warning list would be unsound, so
+    either bound expiring raises [Fault (Budget P_detect)]. *)
 
 val run_reference : Threadify.t -> Escape.t -> warning list
 (** Oracle for the equivalence property test: identical semantics to

@@ -17,7 +17,7 @@
 
 open Nadroid_lang
 
-type phase = P_pta | P_filters | P_explorer
+type phase = P_pta | P_modeling | P_detect | P_filters | P_explorer
 
 type t =
   | Frontend of Diag.t
@@ -28,6 +28,8 @@ exception Fault of t
 
 let phase_to_string = function
   | P_pta -> "pta"
+  | P_modeling -> "modeling"
+  | P_detect -> "detect"
   | P_filters -> "filters"
   | P_explorer -> "explorer"
 

@@ -9,7 +9,7 @@
 
 open Nadroid_lang
 
-type phase = P_pta | P_filters | P_explorer
+type phase = P_pta | P_modeling | P_detect | P_filters | P_explorer
 
 type t =
   | Frontend of Diag.t  (** lexing / parsing / typing diagnostic *)

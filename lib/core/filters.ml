@@ -52,12 +52,19 @@ type ctx = {
           unsound application regardless of concurrency. *)
 }
 
-let create_ctx ?(atomic_ig = true) (tf : Threadify.t) (esc : Escape.t) (locks : Lockset.t) : ctx =
+let create_ctx ?(atomic_ig = true) ?deadline (tf : Threadify.t) (esc : Escape.t)
+    (locks : Lockset.t) : ctx =
   let component_obj = Hashtbl.create 16 in
-  List.iter
-    (fun (r : Pta.root) ->
-      Hashtbl.replace component_obj r.Pta.r_component.Component.cls r.Pta.r_recv)
-    (Pta.roots tf.Threadify.pta);
+  (* Construction is cheap (one pass over the roots), so an expired
+     deadline does not fault here: it just leaves the component map
+     empty, which only disables CHB pruning — sound over-reporting — and
+     the filter phase that follows will record itself as skipped. *)
+  let expired = match deadline with Some d -> Unix.gettimeofday () > d | None -> false in
+  if not expired then
+    List.iter
+      (fun (r : Pta.root) ->
+        Hashtbl.replace component_obj r.Pta.r_component.Component.cls r.Pta.r_recv)
+      (Pta.roots tf.Threadify.pta);
   { tf; esc; locks; guards_cache = Hashtbl.create 64; component_obj; atomic_ig }
 
 let guards_of ctx (mref : Instr.mref) : Guards.t =
@@ -413,41 +420,64 @@ let apply_counted ctx names (ws : Detect.warning list) :
   (survivors, List.map (fun (n, c) -> (n, !c)) counts)
 
 (* Deadline-aware variant: filters run one name at a time against the
-   survivors of the previous ones, and once the absolute [deadline]
-   passes the remaining names are skipped entirely. Skipping a filter is
-   sound in the more-warnings direction — it can only leave extra
-   warnings alive — so a starved filter phase degrades instead of
-   hanging. Counts credit each filter only with the pairs it pruned
+   survivors of the previous ones, with the clock sampled both at each
+   filter start and every few warnings inside the per-warning loop — a
+   single filter over a huge warning list used to run arbitrarily past
+   the deadline. Once the absolute [deadline] passes, the in-flight
+   filter stops where it is (its already-filtered prefix is kept — every
+   individual prune is sound — and the untouched tail passes through)
+   and all remaining names are skipped. Skipping is sound in the
+   more-warnings direction, so a starved filter phase degrades instead
+   of hanging. Counts credit each filter only with the pairs it pruned
    itself (earlier filters already removed theirs), unlike
-   {!apply_counted}'s overlapping credit. *)
+   {!apply_counted}'s overlapping credit; a partially-run filter keeps
+   its partial count and also appears in the skipped list. *)
 let apply_counted_deadline ctx ~deadline names (ws : Detect.warning list) :
     Detect.warning list * (name * int) list * name list =
   let counts = ref [] and skipped = ref [] in
+  let expired = ref false in
+  let checked = ref 0 in
+  (* sampled every 8 warnings, so one filter overruns an expired
+     deadline by at most 8 warnings' worth of pruning *)
+  let now_expired () =
+    !expired
+    ||
+    (incr checked;
+     if !checked land 7 = 0 && Unix.gettimeofday () > deadline then expired := true;
+     !expired)
+  in
   let survivors =
     List.fold_left
       (fun ws n ->
-        if Unix.gettimeofday () > deadline then begin
+        if !expired || Unix.gettimeofday () > deadline then begin
+          expired := true;
           skipped := n :: !skipped;
           ws
         end
         else begin
           let c = ref 0 in
-          let ws =
-            List.filter_map
-              (fun (w : Detect.warning) ->
-                let pairs =
-                  List.filter
-                    (fun p ->
-                      let pruned = prunes ctx n w p in
-                      if pruned then incr c;
-                      not pruned)
-                    w.Detect.w_pairs
-                in
-                match pairs with
-                | [] -> None
-                | _ :: _ -> Some { w with Detect.w_pairs = pairs })
-              ws
+          let rec go acc = function
+            | [] -> List.rev acc
+            | (w : Detect.warning) :: rest ->
+                if now_expired () then begin
+                  skipped := n :: !skipped;
+                  List.rev_append acc (w :: rest)
+                end
+                else begin
+                  let pairs =
+                    List.filter
+                      (fun p ->
+                        let pruned = prunes ctx n w p in
+                        if pruned then incr c;
+                        not pruned)
+                      w.Detect.w_pairs
+                  in
+                  match pairs with
+                  | [] -> go acc rest
+                  | _ :: _ -> go ({ w with Detect.w_pairs = pairs } :: acc) rest
+                end
           in
+          let ws = go [] ws in
           counts := (n, !c) :: !counts;
           ws
         end)

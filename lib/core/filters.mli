@@ -32,9 +32,12 @@ val pp_name : name Fmt.t
 
 type ctx
 
-val create_ctx : ?atomic_ig:bool -> Threadify.t -> Escape.t -> Lockset.t -> ctx
+val create_ctx :
+  ?atomic_ig:bool -> ?deadline:float -> Threadify.t -> Escape.t -> Lockset.t -> ctx
 (** [atomic_ig] defaults to [true] (nAdroid); [false] applies IG/IA/MA
-    without atomicity, as DEvA does. *)
+    without atomicity, as DEvA does. Construction is cheap, so an
+    already-expired [deadline] does not fault: it leaves the component
+    map empty (disabling CHB pruning — sound over-reporting). *)
 
 val prunes : ctx -> name -> Detect.warning -> int * int -> bool
 (** Does the named filter prune this (use-thread, free-thread) pair? *)
@@ -57,10 +60,15 @@ val apply_counted_deadline :
   Detect.warning list * (name * int) list * name list
 (** Like {!apply_counted} but bounded by an absolute wall-clock
     [deadline] (as from [Unix.gettimeofday]): filters run one name at a
-    time and names whose turn comes after the deadline are skipped and
-    returned in the third component. Skipping is sound in the
-    more-warnings direction. Counts are sequential (no overlapping
-    credit). *)
+    time, with the clock also sampled every few warnings {e inside} each
+    filter, so one filter over a huge warning list cannot run
+    arbitrarily past the deadline. A filter caught mid-run keeps its
+    already-filtered prefix (each individual prune is sound), passes the
+    untouched tail through, keeps its partial count, and joins the
+    skipped list along with every name whose turn never came; the
+    skipped names are returned in the third component. Skipping is sound
+    in the more-warnings direction. Counts are sequential (no
+    overlapping credit). *)
 
 val pruned_count : ctx -> name list -> Detect.warning list -> int
 (** Warnings fully pruned when only [names] are enabled — the Figure 5

@@ -12,17 +12,23 @@ open Nadroid_ir
 open Nadroid_analysis
 
 (* Per-phase resource budgets. [pta_steps] is deterministic (instruction
-   transfers); [deadline] is wall-clock seconds for the whole analysis,
-   enforced at the filter phase (the only phase after PTA whose cost
-   scales with the warning count); [explorer_schedules] caps dynamic
-   validation and is threaded through to the explorer by the drivers. *)
+   transfers); [pta_tuples] is a memory ceiling on live relation
+   cardinality (points-to table and the detection join's Datalog
+   database); [deadline] is wall-clock seconds for the whole analysis,
+   enforced in-flight — inside the PTA worklist, thread-forest
+   expansion, detection, and the per-warning filter loops — so an
+   expired deadline cancels the running phase instead of waiting for a
+   phase boundary; [explorer_schedules] caps dynamic validation and is
+   threaded through to the explorer by the drivers. *)
 type budgets = {
   pta_steps : int option;
+  pta_tuples : int option;
   deadline : float option;
   explorer_schedules : int option;
 }
 
-let no_budgets = { pta_steps = None; deadline = None; explorer_schedules = None }
+let no_budgets =
+  { pta_steps = None; pta_tuples = None; deadline = None; explorer_schedules = None }
 
 type config = {
   k : int;  (** k-object-sensitivity depth (paper default: 2) *)
@@ -76,6 +82,9 @@ type metrics = {
       (** method-instance bodies the points-to solver executed — the
           worklist's saving over the reference solver, wall-clock aside *)
   m_pta_steps : int;  (** instruction transfers the solver executed *)
+  m_pta_tuples : int;
+      (** live points-to tuples the solver stored; 0 when no tuple
+          ceiling was set (unbudgeted runs skip the accounting) *)
   m_pruned : (Filters.name * int) list;
       (** (warning, pair) combinations pruned, credited per filter *)
   m_degraded : degradation list;  (** empty = full-precision run *)
@@ -112,18 +121,21 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-(* Run the points-to analysis under the configured step budget. When the
-   budget is exhausted at the requested k, fall back down the context
-   ladder k-1, ..., 0: merging contexts means more aliasing, i.e. a
-   sound over-approximation (more warnings), and a far cheaper fixpoint.
-   Only when even the context-insensitive run starves do we give up with
-   a [Budget] fault. *)
-let run_pta config prog : Pta.t * degradation list =
-  match config.budgets.pta_steps with
-  | None -> (Pta.run ~solver:config.solver ~k:config.k prog, [])
-  | Some steps ->
+(* Run the points-to analysis under the configured bounds — step budget,
+   tuple ceiling, and the absolute wall-clock deadline, any of which may
+   cancel the solve in flight. When a bound is hit at the requested k,
+   fall back down the context ladder k-1, ..., 0: merging contexts means
+   more aliasing, i.e. a sound over-approximation (more warnings), and a
+   far cheaper fixpoint. (After a deadline expiry each retry dies within
+   ~1024 transfers, so the descent itself is bounded.) Only when even
+   the context-insensitive run starves do we give up with a [Budget]
+   fault. *)
+let run_pta config ~tuples ~deadline prog : Pta.t * degradation list =
+  match (config.budgets.pta_steps, tuples, deadline) with
+  | None, None, None -> (Pta.run ~solver:config.solver ~k:config.k prog, [])
+  | steps, tuples, deadline ->
       let rec ladder k =
-        match Pta.run_budgeted ~steps ~solver:config.solver ~k prog with
+        match Pta.run_budgeted ?steps ?tuples ?deadline ~solver:config.solver ~k prog with
         | Some pta -> (pta, if k = config.k then [] else [ D_pta_k k ])
         | None ->
             if k > 0 then ladder (k - 1)
@@ -131,22 +143,39 @@ let run_pta config prog : Pta.t * degradation list =
       in
       ladder config.k
 
-let analyze_prog ?(config = default_config) (prog : Prog.t) : t =
+let analyze_prog ?auto_tuples ?(config = default_config) (prog : Prog.t) : t =
   (* modeling: threadification needs the points-to pass, whose dominant
      cost we attribute to detection as in the paper; modeling time covers
      forest construction *)
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun d -> t0 +. d) config.budgets.deadline in
-  let (pta, pta_degr), t_pta = time (fun () -> run_pta config prog) in
+  (* The auto-derived (size-calibrated) ceiling guards the points-to
+     table only: PTA can fall down the k ladder when it trips, so the
+     bound is always soundly recoverable. The detection join is
+     hard-bounded — an overflow there has no sound partial result — so
+     it only honours an *explicit* user ceiling, never a derived one:
+     a derived hard fault would turn legitimate dense inputs (e.g. a
+     many-statements-per-line source) into failures. *)
+  let pta_tuples =
+    match config.budgets.pta_tuples with Some _ as t -> t | None -> auto_tuples
+  in
+  let (pta, pta_degr), t_pta =
+    time (fun () -> run_pta config ~tuples:pta_tuples ~deadline prog)
+  in
+  (* escape/lockset are linear in the (tuple-bounded) points-to result,
+     so they carry no checkpoint of their own *)
   let (esc, locks), t_aux =
     time (fun () -> (Escape.run pta, Lockset.run pta))
   in
-  let threads, t_model = time (fun () -> Threadify.run pta) in
-  let potential, t_detect = time (fun () -> Detect.run threads esc) in
+  let threads, t_model = time (fun () -> Threadify.run ?deadline pta) in
+  let potential, t_detect =
+    time (fun () -> Detect.run ?deadline ?max_tuples:config.budgets.pta_tuples threads esc)
+  in
   (* context construction belongs to the filtering phase: leaving it
      untimed made the §8.8 breakdown fall short of wall time *)
   let ctx, t_ctx =
-    time (fun () -> Filters.create_ctx ~atomic_ig:config.atomic_ig threads esc locks)
+    time (fun () ->
+        Filters.create_ctx ~atomic_ig:config.atomic_ig ?deadline threads esc locks)
   in
   let (after_sound, after_unsound, pruned, skipped), t_filter =
     time (fun () ->
@@ -178,6 +207,7 @@ let analyze_prog ?(config = default_config) (prog : Prog.t) : t =
       m_wall = Unix.gettimeofday () -. t0;
       m_pta_visits = Pta.visits pta;
       m_pta_steps = Pta.steps pta;
+      m_pta_tuples = Pta.tuples pta;
       m_pruned = pruned;
       m_degraded = degraded;
     }
@@ -215,19 +245,37 @@ let count_loc src =
    programs while still bounding a pathological context explosion. *)
 let auto_pta_steps ~loc = 5_000 + (500 * loc)
 
+(* Default tuple (memory) ceiling, derived from app size like the step
+   budget. Calibrated against the corpus and the Synth generator: the
+   k=2 points-to table peaks at ~5.5 tuples per line (corpus max 4.6,
+   SGTPuzzles; Synth max 5.5) and the detection join's relation
+   cardinality stays well below that, so a 100 tuples/line slope plus a
+   small-app floor leaves ~18x headroom for ordinary programs while
+   still bounding a pathological heap explosion. *)
+let auto_pta_tuples ~loc = 5_000 + (100 * loc)
+
 let analyze ?(config = default_config) ~file src : t =
-  (* no explicit budget: derive one from the source size, so every
-     file-level entry point is bounded by default ([--budget-pta] and an
-     explicit [budgets.pta_steps] still override) *)
+  (* no explicit budgets: derive them from the source size, so every
+     file-level entry point is bounded by default ([--budget-pta] /
+     [--budget-tuples] and explicit [budgets] fields still override) *)
+  let loc = lazy (count_loc src) in
   let config =
     match config.budgets.pta_steps with
     | Some _ -> config
     | None ->
-        let steps = auto_pta_steps ~loc:(count_loc src) in
+        let steps = auto_pta_steps ~loc:(Lazy.force loc) in
         { config with budgets = { config.budgets with pta_steps = Some steps } }
   in
+  (* the derived tuple ceiling stays out of [config.budgets]: it bounds
+     the PTA table only (see {!analyze_prog}), while an explicit
+     [pta_tuples] also hard-bounds the detection join *)
+  let auto_tuples =
+    match config.budgets.pta_tuples with
+    | Some _ -> None
+    | None -> Some (auto_pta_tuples ~loc:(Lazy.force loc))
+  in
   let prog = Prog.of_sema (Sema.of_source ~file src) in
-  analyze_prog ~config prog
+  analyze_prog ?auto_tuples ~config prog
 
 (* Counts for the Table 1 row of an app. *)
 type row = {

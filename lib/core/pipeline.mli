@@ -16,9 +16,17 @@ type budgets = {
   pta_steps : int option;
       (** points-to step budget (instruction transfers, deterministic);
           on exhaustion the solver retries with smaller k down to 0 *)
+  pta_tuples : int option;
+      (** memory ceiling: live relation cardinality, covering both the
+          points-to table (down the same k ladder on exhaustion) and the
+          detection join's Datalog database (a hard bound there); the
+          auto-derived default applies to the points-to table only *)
   deadline : float option;
-      (** wall-clock seconds for the whole analysis, enforced at the
-          filter phase: filters starting past the deadline are skipped *)
+      (** wall-clock seconds for the whole analysis, enforced in-flight:
+          periodic checkpoints inside the PTA worklist (down the k
+          ladder), thread-forest expansion and detection (hard faults —
+          partial results there would lose coverage), and the
+          per-warning filter loops (remaining filters are skipped) *)
   explorer_schedules : int option;
       (** cap on dynamic-validation schedules, threaded to the explorer
           by the drivers (not enforced by {!analyze_prog} itself) *)
@@ -73,6 +81,9 @@ type metrics = {
       (** method-instance bodies the points-to solver executed — the
           worklist's saving over the reference solver, wall-clock aside *)
   m_pta_steps : int;  (** instruction transfers the solver executed *)
+  m_pta_tuples : int;
+      (** live points-to tuples the solver stored; 0 when no tuple
+          ceiling was set (unbudgeted runs skip the accounting) *)
   m_pruned : (Filters.name * int) list;
       (** (warning, pair) combinations pruned, credited per filter *)
   m_degraded : degradation list;  (** empty = full-precision run *)
@@ -99,7 +110,12 @@ type t = {
   config : config;
 }
 
-val analyze_prog : ?config:config -> Prog.t -> t
+val analyze_prog : ?auto_tuples:int -> ?config:config -> Prog.t -> t
+(** [auto_tuples] is the size-derived tuple ceiling {!analyze} passes
+    down: it bounds the points-to table only (recoverable down the k
+    ladder) and is ignored when [config.budgets.pta_tuples] is set. An
+    explicit [pta_tuples] additionally hard-bounds the detection join's
+    Datalog database, where no sound partial result exists. *)
 
 val auto_pta_steps : loc:int -> int
 (** Default PTA step budget for a [loc]-line app — the budget
@@ -107,11 +123,18 @@ val auto_pta_steps : loc:int -> int
     steps-per-line of the reference solver at k=2 over the corpus and the
     Synth generator. *)
 
+val auto_pta_tuples : loc:int -> int
+(** Default tuple (memory) ceiling for a [loc]-line app:
+    [5000 + 100*loc], ~18x above the worst observed k=2 points-to
+    tuples-per-line (~5.5) over the corpus and the Synth generator. *)
+
 val analyze : ?config:config -> file:string -> string -> t
 (** Parse, typecheck, lower and analyse a MiniAndroid source. When the
-    config carries no explicit [pta_steps] budget, one is derived from
-    the source size via {!auto_pta_steps}; {!analyze_prog} never derives
-    a budget (it has no source to size). *)
+    config carries no explicit [pta_steps] / [pta_tuples] budget, one is
+    derived from the source size via {!auto_pta_steps} /
+    {!auto_pta_tuples} (the derived tuple ceiling bounds the points-to
+    table only); {!analyze_prog} never derives budgets itself (it has no
+    source to size). *)
 
 (** Counts for an app's Table 1 row. *)
 type row = {

@@ -70,8 +70,8 @@ let pp_metrics ppf (m : Pipeline.metrics) =
   line "filter-ctx" m.Pipeline.m_ctx;
   line "filters" m.Pipeline.m_filter;
   Fmt.pf ppf "  %-12s %8.3f ms@\n" "wall" (1000.0 *. m.Pipeline.m_wall);
-  Fmt.pf ppf "  %-12s %8d visits %8d steps@\n" "pta-work" m.Pipeline.m_pta_visits
-    m.Pipeline.m_pta_steps;
+  Fmt.pf ppf "  %-12s %8d visits %8d steps %8d tuples@\n" "pta-work" m.Pipeline.m_pta_visits
+    m.Pipeline.m_pta_steps m.Pipeline.m_pta_tuples;
   (match m.Pipeline.m_pruned with
   | [] -> ()
   | pruned ->
@@ -103,8 +103,8 @@ let metrics_to_json ?name (m : Pipeline.metrics) : string =
       ("wall", m.Pipeline.m_wall);
     ];
   Buffer.add_string buf
-    (Printf.sprintf "\"pta_visits\":%d,\"pta_steps\":%d," m.Pipeline.m_pta_visits
-       m.Pipeline.m_pta_steps);
+    (Printf.sprintf "\"pta_visits\":%d,\"pta_steps\":%d,\"pta_tuples\":%d,"
+       m.Pipeline.m_pta_visits m.Pipeline.m_pta_steps m.Pipeline.m_pta_tuples);
   Buffer.add_string buf "\"pruned\":{";
   List.iteri
     (fun i (n, c) ->

@@ -93,8 +93,21 @@ let kind_of_edge (sema : Sema.t) (e : Pta.call_edge) ~(callee : Pta.instance) : 
   | Pta.E_api (Api.Cancel _) | Pta.E_api Api.Other ->
       invalid_arg "Threadify.kind_of_edge: non-thread-creating API edge"
 
-let run (pta : Pta.t) : t =
+let run ?deadline (pta : Pta.t) : t =
   let sema = pta.Pta.prog.Prog.sema in
+  (* One wall-clock check per thread expansion: each expansion scans the
+     whole edge list, so the overrun past an expired deadline is bounded
+     by one scan. A partial forest would silently lose coverage (missing
+     threads = missed warnings), so expiry here is a hard fault, not a
+     degradation. *)
+  let checkpoint =
+    match deadline with
+    | None -> fun () -> ()
+    | Some d ->
+        fun () ->
+          if Unix.gettimeofday () > d then
+            raise (Fault.Fault (Fault.Budget Fault.P_modeling))
+  in
   let threads = ref [] in
   let n = ref 0 in
   let add th =
@@ -126,6 +139,7 @@ let run (pta : Pta.t) : t =
   in
   (* expand a thread: find API edges inside it and create children *)
   let rec expand (th : thread) (ancestors : int list) =
+    checkpoint ();
     if th.th_entry >= 0 && not (List.mem th.th_entry ancestors) then begin
       let insts = intra th.th_entry in
       List.iter

@@ -44,7 +44,11 @@ val on_looper : thread -> bool
 
 val is_callback : thread -> bool
 
-val run : Pta.t -> t
+val run : ?deadline:float -> Pta.t -> t
+(** Build the thread forest. [deadline] (absolute [Unix.gettimeofday]
+    instant) is checked once per thread expansion; a partial forest would
+    silently drop warnings, so expiry raises
+    [Fault (Budget P_modeling)] rather than degrading. *)
 
 val threads : t -> thread list
 

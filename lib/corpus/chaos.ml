@@ -302,6 +302,7 @@ let fuzz_config ~deadline : Pipeline.config =
     Pipeline.budgets =
       {
         Pipeline.pta_steps = Some default_pta_steps;
+        pta_tuples = None;
         deadline = Some deadline;
         explorer_schedules = None;
       };

@@ -287,6 +287,68 @@ let render (t : t) : string * Spec.seeded list =
   let classes = seeded_classes @ List.map render_act t.sy_acts in
   (String.concat "\n\n" classes ^ "\n", seeded)
 
+(* -- adversarial pathology ------------------------------------------------ *)
+
+(* A worst-case app for the deadline machinery: the analysis is
+   *correct* on it but asymptotically slow in the filter phase, which is
+   exactly where in-flight cancellation must land.
+
+   Shape, for a size parameter [s]: [s] pool fields, each nulled in
+   [onPause] (one free site per field); [s] click listeners, each
+   dereferencing every pool field ([s*s] use sites, so [s*s] potential
+   warnings all pairing a click thread against the [onPause] thread);
+   and an [onResume] body of [10*s] allocations of a dummy non-pool
+   field. Every warning reaches RHB (same component, free thread is
+   [onPause], use thread is not), and RHB re-runs its guard analysis of
+   the *whole* [onResume] body per (warning, pair) — uncached by design,
+   this is the filter's documented hotspot — so the filter phase costs
+   ~[s^2 * 10s] guard transfers while points-to and detection stay
+   near-linear and finish well inside any reasonable deadline. The dummy
+   field keeps [may_allocates] false for every pool field: RHB never
+   prunes, every warning flows on to the remaining unsound filters, and
+   the surviving report stays a sound over-approximation.
+
+   The seed only permutes each listener's field-use order, so distinct
+   seeds give distinct sources with identical cost structure. *)
+let adversarial ~seed ~size : string =
+  let size = max 1 size in
+  let rng = Random.State.make [| 0x41_44; seed |] in
+  let shuffled () =
+    let a = Array.init size Fun.id in
+    for i = size - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  let fields =
+    List.init size (fun i -> Printf.sprintf "  field Data f%d;" i) @ [ "  field Data g;" ]
+  in
+  let on_create =
+    List.init size (fun i -> Printf.sprintf "    f%d = new Data();" i)
+    @ [ "    g = new Data();" ]
+  in
+  let on_start =
+    List.init size (fun view ->
+        let body =
+          String.concat " " (List.map (fun i -> Printf.sprintf "f%d.use();" i) (shuffled ()))
+        in
+        "    " ^ Gen.click_listener ~view ~body)
+  in
+  let on_resume = List.init (10 * size) (fun _ -> "    g = new Data();") in
+  let on_pause = List.init size (fun i -> Printf.sprintf "    f%d = null;" i) in
+  let meth name body = (Printf.sprintf "  method void %s() {" name :: body) @ [ "  }" ] in
+  String.concat "\n"
+    ([ Gen.data_class; Printf.sprintf "class Adv%d extends Activity {" seed ]
+    @ fields
+    @ meth "onCreate" on_create
+    @ meth "onStart" on_start
+    @ meth "onResume" on_resume
+    @ meth "onPause" on_pause
+    @ [ "}"; "" ])
+
 (* -- shrinking ----------------------------------------------------------- *)
 
 let remove_nth n xs = List.filteri (fun i _ -> i <> n) xs

@@ -47,6 +47,15 @@ val render : t -> string * Spec.seeded list
 (** Compilable MiniAndroid source plus the embedded patterns' ground
     truth. Pure: shrunk structures re-render reproducibly. *)
 
+val adversarial : seed:int -> size:int -> string
+(** A worst-case app for the deadline machinery: [size] fields freed in
+    [onPause], [size] click listeners each using every field, and a
+    [10*size]-statement [onResume] that RHB re-analyzes per warning —
+    the filter phase costs ~[size^3] while modeling and detection stay
+    near-linear, so a small [--deadline] lands mid-filters and must be
+    honoured in-flight. The seed permutes statement order only; the cost
+    structure is seed-independent. Deterministic per (seed, size). *)
+
 val shrink_steps : t -> t list
 (** All one-step-smaller variants (drop a pattern, an activity, a
     fragment, or a single statement), coarsest first, in a fixed order —

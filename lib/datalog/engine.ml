@@ -19,11 +19,20 @@ type rule = { head : atom; body : literal list }
 type t = {
   sym : Symbol.t;
   relations : (string, Relation.t) Hashtbl.t;
+  budget : Relation.budget option;
+      (* shared by all persistent relations: one database-wide ceiling *)
   mutable rules : rule list;
   mutable solved : bool;
 }
 
-let create () = { sym = Symbol.create (); relations = Hashtbl.create 32; rules = []; solved = false }
+let create ?max_tuples () =
+  {
+    sym = Symbol.create ();
+    relations = Hashtbl.create 32;
+    budget = Option.map (fun limit -> Relation.budget ~limit) max_tuples;
+    rules = [];
+    solved = false;
+  }
 
 let symbols t = t.sym
 
@@ -36,7 +45,7 @@ let relation t name ~arity =
         invalid_arg (Printf.sprintf "relation %s redeclared with arity %d (was %d)" name arity (Relation.arity r));
       r
   | None ->
-      let r = Relation.create ~name ~arity in
+      let r = Relation.create ?budget:t.budget ~name ~arity () in
       Hashtbl.add t.relations name r;
       r
 
@@ -204,7 +213,7 @@ let eval_rule t (rule : rule) ~(deltas : (string, Relation.t) Hashtbl.t) ~(delta
           | Some j when j = i -> (
               match Hashtbl.find_opt deltas a.pred with
               | Some d -> Some d
-              | None -> Some (Relation.create ~name:"#empty" ~arity:(List.length a.args)))
+              | None -> Some (Relation.create ~name:"#empty" ~arity:(List.length a.args) ()))
           | Some _ | None -> None
         in
         List.fold_left
@@ -236,7 +245,9 @@ let solve_stratum t (rules : rule list) =
     List.iter
       (fun p ->
         let arity = Relation.arity (Hashtbl.find t.relations p) in
-        Hashtbl.replace h p (Relation.create ~name:(p ^ "#d") ~arity))
+        (* deltas mirror tuples already charged to the persistent
+           relations, so they stay unbudgeted to avoid double-counting *)
+        Hashtbl.replace h p (Relation.create ~name:(p ^ "#d") ~arity ()))
       heads;
     h
   in

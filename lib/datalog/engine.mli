@@ -20,7 +20,12 @@ type rule = { head : atom; body : literal list }
 
 type t
 
-val create : unit -> t
+val create : ?max_tuples:int -> unit -> t
+(** [max_tuples] caps the combined cardinality of all persistent
+    relations (one shared {!Relation.budget}); transient semi-naive
+    deltas are exempt, as they only mirror already-charged tuples.
+    {!Relation.add} — hence {!fact}/{!facts}/{!solve} — raises
+    {!Relation.Out_of_budget} past the cap. *)
 
 val symbols : t -> Symbol.t
 

@@ -8,15 +8,29 @@ module TupleSet = Hashtbl.Make (struct
   let hash (a : int array) = Hashtbl.hash a
 end)
 
+(* A cardinality ceiling, shared across every relation it is passed to so
+   the bound covers a whole database, not one relation. The datalog layer
+   has no dependency on the analysis fault taxonomy, so exhaustion raises
+   a local exception that clients translate. *)
+type budget = { mutable b_used : int; b_limit : int }
+
+exception Out_of_budget
+
+let budget ~limit = { b_used = 0; b_limit = limit }
+
+let budget_used b = b.b_used
+
 type t = {
   name : string;
   arity : int;
   tuples : unit TupleSet.t;
+  budget : budget option;
   mutable indexes : (int list * (int list, int array list ref) Hashtbl.t) list;
       (* bound-column positions -> (projection of tuple on those columns -> tuples) *)
 }
 
-let create ~name ~arity = { name; arity; tuples = TupleSet.create 64; indexes = [] }
+let create ?budget ~name ~arity () =
+  { name; arity; tuples = TupleSet.create 64; budget; indexes = [] }
 
 let name t = t.name
 
@@ -43,6 +57,11 @@ let add t tup =
   check_arity t tup;
   if TupleSet.mem t.tuples tup then false
   else begin
+    (match t.budget with
+    | None -> ()
+    | Some b ->
+        b.b_used <- b.b_used + 1;
+        if b.b_used > b.b_limit then raise Out_of_budget);
     TupleSet.replace t.tuples tup ();
     List.iter
       (fun (cols, idx) ->

@@ -3,7 +3,20 @@
 
 type t
 
-val create : name:string -> arity:int -> t
+type budget
+(** A tuple-cardinality ceiling. One budget value may be shared by many
+    relations, in which case the ceiling bounds their combined growth —
+    a database-wide memory bound. *)
+
+exception Out_of_budget
+(** Raised by {!add} when a budgeted insert would exceed its ceiling. *)
+
+val budget : limit:int -> budget
+
+val budget_used : budget -> int
+(** Tuples charged against the budget so far. *)
+
+val create : ?budget:budget -> name:string -> arity:int -> unit -> t
 
 val name : t -> string
 
@@ -17,7 +30,8 @@ val add : t -> int array -> bool
 (** [add t tup] returns [true] when the tuple is new. Existing column
     indexes are maintained in place — an insert is O(#indexes), never a
     rebuild.
-    @raise Invalid_argument on arity mismatch. *)
+    @raise Invalid_argument on arity mismatch.
+    @raise Out_of_budget when the relation's budget is exhausted. *)
 
 val n_indexes : t -> int
 (** Number of live column indexes (for tests). *)

@@ -79,4 +79,27 @@ for key in '"cold_elapsed"' '"warm_elapsed"' '"reference_elapsed"' '"speedup_col
   esac
 done
 
+# 10. Wedged-analysis gate: an adversarial app whose filter phase runs
+#     ~10s unbounded must, under --deadline 2, terminate within 2x the
+#     deadline with exit 0 and a partial report marked DEGRADED (the
+#     marker prints with the metrics, hence --timings). A hang here
+#     means in-flight cancellation regressed.
+adv_src="_nadroid_cache/ci-adv.$$.mand"
+adv_out="_nadroid_cache/ci-adv.$$.out"
+mkdir -p _nadroid_cache
+dune build bin/nadroid.exe
+./_build/default/bin/nadroid.exe synth --adversarial --seed 0 --size 70 > "$adv_src"
+adv_t0=$(date +%s)
+./_build/default/bin/nadroid.exe analyze "$adv_src" --deadline 2 --timings > "$adv_out"
+adv_elapsed=$(( $(date +%s) - adv_t0 ))
+if [ "$adv_elapsed" -gt 4 ]; then
+  echo "ci: adversarial analyze took ${adv_elapsed}s under --deadline 2 (limit 4s)" >&2
+  exit 1
+fi
+if ! grep -q 'DEGRADED' "$adv_out"; then
+  echo "ci: adversarial analyze under --deadline 2 did not report DEGRADED" >&2
+  exit 1
+fi
+rm -f "$adv_src" "$adv_out"
+
 echo "ci: ok"

@@ -131,6 +131,97 @@ let flip_payload_byte raw =
 
 let bad_header _raw = "not a cache entry\njunk"
 
+(* Concurrent stores of the same key from several domains: a pid-only
+   temp-file name is shared by every domain of the process, so racing
+   stores used to interleave their writes into one temp file and publish
+   a garbled entry. With per-store unique temp names the entry must stay
+   intact (Hit, byte-identical) at every point, never Corrupt. *)
+let concurrent_stores_never_corrupt () =
+  with_dir (fun dir ->
+      let a = app () in
+      let e =
+        Cache.entry_of_result (Pipeline.analyze ~file:a.Corpus.name a.Corpus.source)
+      in
+      let k = Cache.key ~config:Pipeline.default_config a.Corpus.source in
+      let corrupted = Atomic.make 0 in
+      let worker () =
+        for _ = 1 to 25 do
+          Cache.store ~dir k e;
+          match Cache.find ~dir k with
+          | Some _, Cache.Hit | None, Cache.Miss -> ()
+          | _, Cache.Corrupt _ -> Atomic.incr corrupted
+          | _ -> ()
+        done
+      in
+      let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+      List.iter Domain.join domains;
+      Alcotest.(check int) "no store/find observed a corrupt entry" 0 (Atomic.get corrupted);
+      match Cache.find ~dir k with
+      | Some got, Cache.Hit -> check_entry_equal "entry intact after the race" e got
+      | _ -> Alcotest.fail "expected an intact hit after concurrent stores")
+
+(* LRU eviction: with explicit mtimes, evict removes oldest-first until
+   the cap holds, leaves recently-used entries alone, and skips foreign
+   files. A find hit refreshes an entry's mtime so it survives. *)
+let lru_eviction () =
+  with_dir (fun dir ->
+      let a = app () in
+      let e =
+        Cache.entry_of_result (Pipeline.analyze ~file:a.Corpus.name a.Corpus.source)
+      in
+      let keys = List.init 4 (fun i -> Printf.sprintf "%032d" i) in
+      List.iter (fun k -> Cache.store ~dir k e) keys;
+      let size = (Unix.stat (Cache.path ~dir (List.hd keys))).Unix.st_size in
+      (* oldest first: key i gets mtime i (seconds after the epoch) *)
+      List.iteri
+        (fun i k ->
+          let t = float_of_int (i + 1) in
+          Unix.utimes (Cache.path ~dir k) t t)
+        keys;
+      (* a foreign file must neither count toward the size nor be removed *)
+      let foreign = Filename.concat dir "README" in
+      let oc = open_out_bin foreign in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc "not a cache entry");
+      Alcotest.(check int) "dir_bytes counts only entries" (4 * size) (Cache.dir_bytes ~dir);
+      (* a hit on the oldest entry touches it to "now": it must survive *)
+      (match Cache.find ~dir (List.hd keys) with
+      | Some _, Cache.Hit -> ()
+      | _ -> Alcotest.fail "expected a hit on entry 0");
+      Alcotest.(check bool)
+        "hit refreshed the mtime" true
+        ((Unix.stat (Cache.path ~dir (List.hd keys))).Unix.st_mtime > 4.0);
+      (* cap at two entries: the two stale ones (keys 1 and 2) must go *)
+      let removed = Cache.evict ~dir ~max_bytes:(2 * size) in
+      Alcotest.(check int) "two entries evicted" 2 removed;
+      Alcotest.(check int) "cap holds" (2 * size) (Cache.dir_bytes ~dir);
+      List.iteri
+        (fun i k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "entry %d %s" i (if i = 1 || i = 2 then "evicted" else "kept"))
+            (not (i = 1 || i = 2))
+            (Sys.file_exists (Cache.path ~dir k)))
+        keys;
+      Alcotest.(check bool) "foreign file untouched" true (Sys.file_exists foreign);
+      Sys.remove foreign)
+
+(* The acceptance-criterion shape: a full corpus batch under
+   --cache-max-bytes keeps the directory at or below the cap after every
+   store (the uncapped batch is ~80 KB, so a 32 KB cap forces eviction
+   partway through). *)
+let eviction_caps_corpus_batch () =
+  with_dir (fun dir ->
+      let cap = 32 * 1024 in
+      List.iter
+        (fun (a : Corpus.app) ->
+          ignore (Cache.analyze ~max_bytes:cap ~dir ~file:a.Corpus.name a.Corpus.source);
+          Alcotest.(check bool)
+            (a.Corpus.name ^ ": cache at or below the cap")
+            true
+            (Cache.dir_bytes ~dir <= cap))
+        (Lazy.force Corpus.all);
+      Alcotest.(check bool) "eviction ran (not every entry survived)" true
+        (List.length (Sys.readdir dir |> Array.to_list) < List.length (Lazy.force Corpus.all)))
+
 (* metrics JSON (the --json observability satellite): solver work
    counters are present and positive on a real analysis *)
 let metrics_json_has_solver_counters () =
@@ -162,6 +253,11 @@ let suite =
           (corruption_is_a_surfaced_miss flip_payload_byte);
         Alcotest.test_case "foreign file = surfaced miss" `Quick
           (corruption_is_a_surfaced_miss bad_header);
+        Alcotest.test_case "concurrent same-key stores never corrupt" `Quick
+          concurrent_stores_never_corrupt;
+        Alcotest.test_case "LRU eviction enforces the size cap" `Quick lru_eviction;
+        Alcotest.test_case "corpus batch stays under --cache-max-bytes" `Quick
+          eviction_caps_corpus_batch;
         Alcotest.test_case "metrics json carries solver work counters" `Quick
           metrics_json_has_solver_counters;
       ] );

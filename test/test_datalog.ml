@@ -163,7 +163,7 @@ let monotone_under_new_facts =
    inserts, lookups through a pre-built index see exactly the tuples a
    fresh scan would, and the index is neither dropped nor duplicated. *)
 let index_survives_inserts () =
-  let r = Relation.create ~name:"t" ~arity:2 in
+  let r = Relation.create ~name:"t" ~arity:2 () in
   ignore (Relation.add r [| 1; 10 |]);
   ignore (Relation.add r [| 2; 20 |]);
   (* build indexes on both columns, then insert more tuples *)

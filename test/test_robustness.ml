@@ -141,6 +141,49 @@ let degrade_ladder_at_derived_budget () =
         (List.mem k (keys t)))
     (keys full)
 
+(* In-flight deadline cancellation: the adversarial Synth app spends
+   almost all its time inside the filter phase (RHB re-analyzes a long
+   onResume body per warning), so a deadline that expires mid-filters
+   must cancel the running loop at a checkpoint — not wait for the phase
+   to finish. The run must come back well inside 2x the deadline, be
+   marked degraded (filters skipped), and its warning set must be a
+   superset of the full-precision run's (skipping filters only
+   over-reports). *)
+let deadline_is_honoured_in_flight () =
+  let src = Nadroid_corpus.Synth.adversarial ~seed:0 ~size:40 in
+  let d = 0.4 in
+  let config =
+    {
+      Pipeline.default_config with
+      Pipeline.budgets = { Pipeline.no_budgets with Pipeline.deadline = Some d };
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let t = Pipeline.analyze ~config ~file:"adversarial" src in
+  let wall = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Fmt.str "terminates within 2x the deadline (took %.2fs)" wall)
+    true (wall <= 2.0 *. d);
+  (match t.Pipeline.metrics.Pipeline.m_degraded with
+  | [] -> Alcotest.fail "expected a degraded run under the pathological app"
+  | ds ->
+      Alcotest.(check bool)
+        "degradation is filter-skipping" true
+        (List.exists
+           (function Pipeline.D_filters_skipped _ -> true | Pipeline.D_pta_k _ -> false)
+           ds));
+  let full = Pipeline.analyze ~file:"adversarial" src in
+  Alcotest.(check (list string)) "full-precision run is undegraded" []
+    (List.map Pipeline.degradation_to_string full.Pipeline.metrics.Pipeline.m_degraded);
+  let keys r = List.map Detect.warning_key r.Pipeline.after_unsound in
+  let degraded_keys = keys t in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Fmt.str "full-precision warning %s survives the deadline cut" (fst k))
+        true (List.mem k degraded_keys))
+    (keys full)
+
 let chaos_smoke () =
   let s = Chaos.run ~jobs:2 ~seed:7 ~mutants:48 (Lazy.force Corpus.all) in
   Alcotest.(check int) "all mutants ran" 48 s.Chaos.s_mutants;
@@ -179,6 +222,8 @@ let suite =
         Alcotest.test_case "auto budget leaves the corpus undegraded" `Quick auto_budget_headroom;
         Alcotest.test_case "degrade ladder engages at the derived budget" `Quick
           degrade_ladder_at_derived_budget;
+        Alcotest.test_case "deadline is honoured in flight" `Quick
+          deadline_is_honoured_in_flight;
         Alcotest.test_case "chaos smoke finds nothing on the corpus" `Slow chaos_smoke;
         Alcotest.test_case "mutator is deterministic per (seed, index)" `Quick
           mutate_deterministic;
