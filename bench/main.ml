@@ -8,6 +8,7 @@
      dune exec bench/main.exe table3     -- Table 3 (DEvA comparison)
      dune exec bench/main.exe timing     -- §8.8 phase split + Bechamel
      dune exec bench/main.exe perf       -- cold/warm/reference batches (BENCH_4.json)
+     dune exec bench/main.exe serve      -- daemon throughput/latency (BENCH_6.json)
      dune exec bench/main.exe ablation   -- design-choice ablations
 
    Expected shapes (not absolute numbers — see DESIGN.md §2) are quoted
@@ -21,6 +22,7 @@ module Classify = Nadroid_core.Classify
 module Threadify = Nadroid_core.Threadify
 module Fault = Nadroid_core.Fault
 module Cache = Nadroid_core.Cache
+module Clock = Nadroid_clock.Clock
 
 (* Corpus batch through the analysis cache (crash-isolated, like
    {!Corpus.analyze_all}); results are cache entries. [max_bytes] caps
@@ -333,7 +335,7 @@ let timing_json ~jobs ~elapsed entries =
 let timing ~jobs ~json ~cache ~cache_max_bytes () =
   (* [elapsed] is the batch wall clock; under [jobs] > 1 the per-app wall
      times overlap, so their sum exceeds it. *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let analyzed =
     match cache with
     | Some dir ->
@@ -347,7 +349,7 @@ let timing ~jobs ~json ~cache ~cache_max_bytes () =
           (Eval.keep_ok ~what:"timing" ~name:Eval.app_name
              (Corpus.analyze_all ~jobs (Lazy.force Corpus.all)))
   in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Clock.now () -. t0 in
   if json then timing_json ~jobs ~elapsed analyzed
   else begin
   Eval.section
@@ -439,26 +441,26 @@ let perf ~jobs ~json ~cache_dir ~cache_max_bytes () =
   let dir = Filename.concat cache_dir (Printf.sprintf "perf.%d" (Unix.getpid ())) in
   rm_cache_dir dir;
   let cached_batch what =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let rs =
       Eval.keep_ok ~what ~name:Eval.app_name
         (analyze_all_cached ?max_bytes:cache_max_bytes ~jobs ~dir apps)
     in
-    (rs, Unix.gettimeofday () -. t0)
+    (rs, Clock.now () -. t0)
   in
   let cold_raw, cold_elapsed = cached_batch "perf-cold" in
   let warm_raw, warm_elapsed = cached_batch "perf-warm" in
   let ref_config =
     { Pipeline.default_config with Pipeline.solver = Nadroid_analysis.Pta.Reference }
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let reference =
     List.map
       (fun (app, t) -> (app, Cache.entry_of_result t))
       (Eval.keep_ok ~what:"perf-reference" ~name:Eval.app_name
          (Corpus.analyze_all ~config:ref_config ~jobs apps))
   in
-  let ref_elapsed = Unix.gettimeofday () -. t0 in
+  let ref_elapsed = Clock.now () -. t0 in
   rm_cache_dir dir;
   let cold = List.map (fun (app, (e, _)) -> (app, e)) cold_raw in
   let warm_hits =
@@ -552,6 +554,160 @@ let perf ~jobs ~json ~cache_dir ~cache_max_bytes () =
   end
 
 (* ---------------------------------------------------------------- *)
+(* serve: daemon throughput and latency                               *)
+(* ---------------------------------------------------------------- *)
+
+let bench6_json_file = "BENCH_6.json"
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+(* Spawn a `nadroid serve` daemon (fork + in-process Server.run — forked
+   BEFORE any client domain exists, so the child is single-domain), then
+   drive [clients] concurrent connections over the corpus, [rounds]
+   requests per app in total. Every response is compared byte-for-byte
+   against the output the cold CLI would print for that app — the
+   daemon's warm state must never show through. Emits sustained req/s
+   and p50/p99 latency; under --json the document also lands in
+   BENCH_6.json. Fails (exit 1) on any response mismatch or a daemon
+   that does not exit 0 after the graceful shutdown. *)
+let serve_bench ~jobs ~json ~clients ~rounds () =
+  let module Server = Nadroid_serve.Server in
+  let module Protocol = Nadroid_serve.Protocol in
+  let module Client = Nadroid_serve.Client in
+  let apps = Array.of_list (Lazy.force Corpus.all) in
+  let napps = Array.length apps in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nadroid-bench-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* child: the daemon. _exit, not exit — at_exit in the forked
+         image would replay the parent's buffered output *)
+      (try
+         Server.run
+           ~config:
+             {
+               Server.default_config with
+               Server.jobs = Some jobs;
+               quiet = true;
+               install_signals = false;
+             }
+           (`Unix sock)
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | daemon_pid ->
+      (* expected responses: exactly the daemon's own rendering path,
+         run cold in this process while the daemon boots *)
+      let expected =
+        Array.of_list
+          (Nadroid_core.Parallel.map ~jobs
+             (fun (app : Corpus.app) ->
+               Protocol.analyze_response ~name:app.Corpus.name
+                 (Fault.wrap (fun () ->
+                      Cache.entry_of_result
+                        (Pipeline.analyze ~file:app.Corpus.name app.Corpus.source))))
+             (Array.to_list apps))
+      in
+      let request_of (app : Corpus.app) =
+        Protocol.render_analyze
+          {
+            Protocol.a_path = None;
+            a_source = Some app.Corpus.source;
+            a_file = Some app.Corpus.name;
+            a_k = None;
+            a_sound_only = false;
+            a_deadline = None;
+            a_budget_pta = None;
+            a_budget_tuples = None;
+            a_budget_explorer = None;
+            a_cache = None;
+          }
+      in
+      let total = rounds * napps in
+      let counter = Atomic.make 0 in
+      let t0 = Clock.now () in
+      let worker () =
+        let c = Client.connect (`Unix sock) in
+        let lats = ref [] and mismatches = ref 0 in
+        let rec loop () =
+          let i = Atomic.fetch_and_add counter 1 in
+          if i < total then begin
+            let app = apps.(i mod napps) in
+            let s = Clock.now () in
+            let response = Client.request c (request_of app) in
+            lats := (Clock.now () -. s) :: !lats;
+            if not (String.equal response expected.(i mod napps)) then begin
+              incr mismatches;
+              Printf.eprintf "serve-bench: response for %s differs from cold run\n"
+                app.Corpus.name
+            end;
+            loop ()
+          end
+        in
+        loop ();
+        Client.close c;
+        (!lats, !mismatches)
+      in
+      let domains = List.init clients (fun _ -> Domain.spawn worker) in
+      let per_client = List.map Domain.join domains in
+      let elapsed = Clock.now () -. t0 in
+      let lats =
+        Array.of_list (List.concat_map (fun (ls, _) -> ls) per_client)
+      in
+      let mismatches = List.fold_left (fun a (_, m) -> a + m) 0 per_client in
+      Array.sort compare lats;
+      (* graceful shutdown, then insist the daemon exits 0 *)
+      let c = Client.connect (`Unix sock) in
+      let shutdown_ack = Client.request c Protocol.shutdown_request in
+      Client.close c;
+      let daemon_exit =
+        match Unix.waitpid [] daemon_pid with
+        | _, Unix.WEXITED n -> n
+        | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) -> 128 + n
+      in
+      let rps = if elapsed > 0.0 then float_of_int total /. elapsed else 0.0 in
+      let p50 = percentile lats 0.50 and p99 = percentile lats 0.99 in
+      let lmin = if Array.length lats > 0 then lats.(0) else 0.0 in
+      let lmax =
+        if Array.length lats > 0 then lats.(Array.length lats - 1) else 0.0
+      in
+      if json then begin
+        let doc =
+          Printf.sprintf
+            "{\"clients\":%d,\"jobs\":%d,\"apps\":%d,\"requests\":%d,\"elapsed\":%.6f,\"rps\":%.3f,\"latency\":{\"p50\":%.6f,\"p99\":%.6f,\"min\":%.6f,\"max\":%.6f},\"identical\":%d,\"mismatches\":%d,\"shutdown_ack\":%s,\"daemon_exit\":%d}"
+            clients jobs napps total elapsed rps p50 p99 lmin lmax
+            (total - mismatches) mismatches
+            (Protocol.escape_string shutdown_ack)
+            daemon_exit
+        in
+        let oc = open_out_bin bench6_json_file in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc);
+        print_endline doc
+      end
+      else begin
+        Eval.section
+          "Serve: daemon throughput over the corpus (every response checked against a cold run)";
+        Printf.printf
+          "  %d requests (%d apps x %d rounds) over %d client connections, %d worker domain(s)\n"
+          total napps rounds clients jobs;
+        Printf.printf "  sustained: %8.2f req/s  (%.3f s elapsed)\n" rps elapsed;
+        Printf.printf "  latency  : p50 %.4f s, p99 %.4f s, min %.4f s, max %.4f s\n" p50 p99
+          lmin lmax;
+        Printf.printf "  identity : %d/%d responses byte-identical to the cold CLI\n"
+          (total - mismatches) total;
+        Printf.printf "  shutdown : %s (daemon exit %d)\n" shutdown_ack daemon_exit
+      end;
+      if mismatches > 0 || daemon_exit <> 0 then exit 1
+
+(* ---------------------------------------------------------------- *)
 (* Ablations                                                          *)
 (* ---------------------------------------------------------------- *)
 
@@ -591,7 +747,7 @@ let ablation () =
   Printf.printf "  corpus-wide cost/precision:\n";
   List.iter
     (fun k ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       let p, u =
         List.fold_left
           (fun (p, u) (app : Corpus.app) ->
@@ -601,7 +757,7 @@ let ablation () =
           (0, 0) (Lazy.force Corpus.all)
       in
       Printf.printf "    k=%d: potential=%4d remaining=%3d  (%.2f s)\n" k p u
-        (Unix.gettimeofday () -. t0))
+        (Clock.now () -. t0))
     [ 0; 1; 2 ];
   Printf.printf
     "  shared-factory micro-program (distinct activities allocating at one site):\n";
@@ -741,6 +897,7 @@ let () =
   and no_cache = ref false
   and cache_dir = ref Nadroid_core.Cache.default_dir
   and cache_max_bytes = ref None in
+  let clients = ref 8 and rounds = ref 5 in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
@@ -769,12 +926,27 @@ let () =
             Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
             exit 2);
         parse rest
+    | "--clients" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some c when c >= 1 -> clients := c
+        | Some _ | None ->
+            Printf.eprintf "--clients expects a positive integer, got %s\n" n;
+            exit 2);
+        parse rest
+    | "--rounds" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some r when r >= 1 -> rounds := r
+        | Some _ | None ->
+            Printf.eprintf "--rounds expects a positive integer, got %s\n" n;
+            exit 2);
+        parse rest
     | arg :: rest ->
         which := arg;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = !jobs and json = !json in
+  let clients = !clients and rounds = !rounds in
   let cache_dir = !cache_dir and cache_max_bytes = !cache_max_bytes in
   let cache = if !use_cache && not !no_cache then Some cache_dir else None in
   (* under --json, batch failure inventories also go out as JSON lines *)
@@ -789,6 +961,7 @@ let () =
       ("table3", table3);
       ("timing", timing ~jobs ~json ~cache ~cache_max_bytes);
       ("perf", perf ~jobs ~json ~cache_dir ~cache_max_bytes);
+      ("serve", serve_bench ~jobs ~json ~clients ~rounds);
       ("ablation", ablation);
       ("extension", extension);
     ]

@@ -1,6 +1,8 @@
 (* nadroid — command-line front end.
 
      nadroid analyze  app.mand      static UAF analysis + report
+     nadroid serve                  analysis-as-a-service daemon
+     nadroid request  app.mand      send analyze requests to a running daemon
      nadroid validate app.mand      analysis + dynamic schedule validation
      nadroid forest   app.mand      print the threadification forest
      nadroid ir       app.mand      dump the lowered IR
@@ -195,19 +197,20 @@ let analyze_cmd =
         match r with Ok (_, outcome) -> warn_cache_outcome path outcome | Error _ -> ())
       results;
     (if json then
-       (* stable machine-readable form: per-file counts plus the fault
-          inventory, so CI can diff inventories across runs *)
+       (* stable machine-readable form: per-file counts, degradations and
+          the rendered report plus the fault inventory — built by the
+          same Protocol functions the serve daemon answers with, so a
+          daemon response is byte-identical to this output *)
+       let module Protocol = Nadroid_serve.Protocol in
        let file_json (path, r) =
          match r with
-         | Ok ((e : Cache.entry), _) ->
-             Printf.sprintf "{\"name\":%S,\"potential\":%d,\"sound\":%d,\"unsound\":%d}" path
-               e.Cache.e_potential e.Cache.e_after_sound e.Cache.e_after_unsound
+         | Ok ((e : Cache.entry), _) -> Protocol.entry_json ~name:path e
          | Error fault -> Nadroid_core.Report.fault_to_json ~name:path fault
        in
        let ok, bad = List.partition (fun (_, r) -> Result.is_ok r) results in
-       Fmt.pr "{\"files\":%d,\"apps\":[%s],\"faults\":[%s]}@." (List.length results)
-         (String.concat "," (List.map file_json ok))
-         (String.concat "," (List.map file_json bad))
+       Fmt.pr "%s@."
+         (Protocol.batch_json ~files:(List.length results)
+            ~apps:(List.map file_json ok) ~faults:(List.map file_json bad))
      else
        List.iter
          (fun (path, r) ->
@@ -233,6 +236,146 @@ let analyze_cmd =
       const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg $ json_arg
       $ budget_pta_arg $ budget_tuples_arg $ deadline_arg $ budget_explorer_arg $ cache_arg
       $ no_cache_arg $ cache_dir_arg $ cache_max_bytes_arg)
+
+(* -- serve / request: the analysis daemon and its client ----------------- *)
+
+let default_socket = "nadroid.sock"
+
+(* One --socket/--tcp pair shared by serve and request; --tcp wins. *)
+let listen_term =
+  let socket_arg =
+    Arg.(
+      value
+      & opt string default_socket
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix socket path (default $(b,nadroid.sock))")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"use TCP instead of a Unix socket")
+  in
+  let listen socket tcp =
+    match tcp with
+    | None -> `Unix socket
+    | Some spec -> (
+        match String.rindex_opt spec ':' with
+        | Some i -> (
+            let host = String.sub spec 0 i in
+            let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt port with
+            | Some port when host <> "" -> `Tcp (host, port)
+            | _ ->
+                Fmt.epr "bad --tcp %s (expected HOST:PORT)@." spec;
+                exit 2)
+        | None ->
+            Fmt.epr "bad --tcp %s (expected HOST:PORT)@." spec;
+            exit 2)
+  in
+  Term.(const listen $ socket_arg $ tcp_arg)
+
+let serve_cmd =
+  let module Server = Nadroid_serve.Server in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"worker domains analyzing requests (default: all cores)")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"suppress the per-request stderr log")
+  in
+  let default_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"SECS"
+          ~doc:
+            "deadline applied to requests that carry none (default: unbounded); a request's \
+             own deadline always wins")
+  in
+  let run listen jobs quiet default_deadline cache_dir cache_max_bytes =
+    let config =
+      {
+        Server.default_config with
+        Server.jobs;
+        cache_dir;
+        cache_max_bytes;
+        default_deadline;
+        quiet;
+      }
+    in
+    with_fault (fun () -> Server.run ~config listen)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run the analysis-as-a-service daemon: a long-lived process that keeps the framework \
+          model, interned symbols and the analysis cache warm and answers newline-JSON analyze \
+          requests over a Unix or TCP socket (byte-identical to $(b,nadroid analyze --json)); \
+          a $(b,shutdown) request, SIGTERM or SIGINT drains in-flight work and exits 0")
+    Term.(
+      const run $ listen_term $ jobs_arg $ quiet_arg $ default_deadline_arg $ cache_dir_arg
+      $ cache_max_bytes_arg)
+
+let request_cmd =
+  let module Protocol = Nadroid_serve.Protocol in
+  let module Client = Nadroid_serve.Client in
+  let files_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"MiniAndroid source file(s)")
+  in
+  let ping_arg = Arg.(value & flag & info [ "ping" ] ~doc:"send a liveness probe first") in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"ask the daemon to drain and exit (after any FILEs)")
+  in
+  let run listen files ping shutdown k sound_only budget_pta budget_tuples deadline
+      budget_explorer cache no_cache =
+    if files = [] && not (ping || shutdown) then begin
+      Fmt.epr "nothing to do: give FILEs, --ping or --shutdown@.";
+      exit 2
+    end;
+    let c = Client.connect listen in
+    let worst = ref 0 in
+    let round line =
+      let response = Client.request c line in
+      print_endline response;
+      worst := max !worst (Protocol.response_exit response)
+    in
+    if ping then round Protocol.ping_request;
+    List.iter
+      (fun path ->
+        round
+          (Protocol.render_analyze
+             {
+               Protocol.a_path = Some path;
+               a_source = None;
+               a_file = None;
+               a_k = (if k = 2 then None else Some k);
+               a_sound_only = sound_only;
+               a_deadline = deadline;
+               a_budget_pta = budget_pta;
+               a_budget_tuples = budget_tuples;
+               a_budget_explorer = budget_explorer;
+               a_cache = (if cache_enabled cache no_cache then Some true else None);
+             }))
+      files;
+    if shutdown then round Protocol.shutdown_request;
+    Client.close c;
+    if !worst <> 0 then exit !worst
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "send requests to a running $(b,nadroid serve) daemon and print the response lines; \
+          exits with the worst fault code of the batch, like $(b,analyze)")
+    Term.(
+      const run $ listen_term $ files_arg $ ping_arg $ shutdown_arg $ k_arg $ sound_only_arg
+      $ budget_pta_arg $ budget_tuples_arg $ deadline_arg $ budget_explorer_arg $ cache_arg
+      $ no_cache_arg)
 
 let validate_cmd =
   let runs_arg =
@@ -555,6 +698,8 @@ let () =
        (Cmd.group info
           [
             analyze_cmd;
+            serve_cmd;
+            request_cmd;
             validate_cmd;
             forest_cmd;
             dot_cmd;

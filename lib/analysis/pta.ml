@@ -28,6 +28,7 @@
      loses facts; the equivalence is gated by a qcheck property and the
      golden corpus reports. *)
 
+module Clock = Nadroid_clock.Clock
 open Nadroid_lang
 open Nadroid_ir
 open Nadroid_android
@@ -548,7 +549,7 @@ let tick t =
   | Some b when t.steps > b -> raise Out_of_budget
   | Some _ | None -> ());
   match t.deadline with
-  | Some d when t.steps land 1023 = 0 && Unix.gettimeofday () > d ->
+  | Some d when t.steps land 1023 = 0 && Clock.now () > d ->
       raise Out_of_budget
   | Some _ | None -> ()
 

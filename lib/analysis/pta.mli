@@ -118,7 +118,7 @@ val run_budgeted :
     per transfer, so the bound is deterministic for a given program, [k]
     and [solver]; the worklist executes fewer transfers than the
     reference). [tuples] caps the live points-to table cardinality — a
-    memory ceiling. [deadline] is an absolute [Unix.gettimeofday] instant
+    memory ceiling. [deadline] is an absolute monotonic ({!Nadroid_clock.Clock.now}) instant
     sampled every 1024 steps, so an in-flight solve overruns it by at
     most ~1024 transfers. Returns [None] when any bound is hit before the
     fixpoint is reached. *)

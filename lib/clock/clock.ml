@@ -1,0 +1,19 @@
+(* Monotonic time for deadlines, wall time for humans.
+
+   OCaml 5.1's [Unix] exposes no [clock_gettime], so the monotonic
+   source is the bechamel CLOCK_MONOTONIC stub (nanoseconds as int64).
+   The float conversion keeps sub-microsecond precision for uptimes
+   beyond a century — far past any daemon's lifetime. *)
+
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* Test-only wall skew: [wall] is never on a deadline path, so a racy
+   read of the skew is harmless; [Atomic] just keeps the read/write
+   well-defined across domains. *)
+let skew = Atomic.make 0.0
+
+let wall () = Unix.gettimeofday () +. Atomic.get skew
+
+let rec step_wall d =
+  let s = Atomic.get skew in
+  if not (Atomic.compare_and_set skew s (s +. d)) then step_wall d

@@ -1,0 +1,28 @@
+(** Time sources for the analysis runtime.
+
+    Two clocks, deliberately kept apart:
+
+    - {!now} is monotonic (CLOCK_MONOTONIC). Every deadline is computed
+      and checked against it, and every duration is measured with it. A
+      long-lived process ([nadroid serve]) rides out NTP slews, manual
+      resets and suspend/resume without deadlines firing early or
+      starving: a wall-clock step must never cancel — or immortalise —
+      an in-flight analysis.
+    - {!wall} is the wall clock, for human-facing timestamps (log lines)
+      only. It is skewable in tests precisely to prove nothing on the
+      deadline path consults it. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary epoch. Comparable across
+    domains of one process; meaningless across processes or reboots.
+    Use for all deadline arithmetic and elapsed-time measurement. *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the Unix epoch, plus any test skew
+    installed by {!step_wall}. Human-facing timestamps only — never
+    derive or check a deadline against this. *)
+
+val step_wall : float -> unit
+(** [step_wall d] shifts every subsequent {!wall} reading by [d] more
+    seconds, simulating an operator/NTP clock step. Test hook: a
+    deadline derived before a step must still expire exactly once. *)

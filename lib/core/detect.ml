@@ -15,6 +15,7 @@ open Nadroid_lang
 open Nadroid_ir
 open Nadroid_analysis
 module IntSet = Pta.IntSet
+module Clock = Nadroid_clock.Clock
 
 type site = { s_inst : int; s_mref : Instr.mref; s_instr : Instr.t }
 
@@ -52,7 +53,7 @@ let deadline_checkpoint = function
       let n = ref 0 in
       fun () ->
         incr n;
-        if !n land 255 = 0 && Unix.gettimeofday () > d then
+        if !n land 255 = 0 && Clock.now () > d then
           raise (Fault.Fault (Fault.Budget Fault.P_detect))
 
 (* Collect uses and frees per thread. *)

@@ -17,6 +17,7 @@ open Nadroid_ir
 open Nadroid_android
 open Nadroid_analysis
 module IntSet = Pta.IntSet
+module Clock = Nadroid_clock.Clock
 
 type name = MHB | IG | IA | RHB | CHB | PHB | MA | UR | TT
 
@@ -59,7 +60,7 @@ let create_ctx ?(atomic_ig = true) ?deadline (tf : Threadify.t) (esc : Escape.t)
      deadline does not fault here: it just leaves the component map
      empty, which only disables CHB pruning — sound over-reporting — and
      the filter phase that follows will record itself as skipped. *)
-  let expired = match deadline with Some d -> Unix.gettimeofday () > d | None -> false in
+  let expired = match deadline with Some d -> Clock.now () > d | None -> false in
   if not expired then
     List.iter
       (fun (r : Pta.root) ->
@@ -443,13 +444,13 @@ let apply_counted_deadline ctx ~deadline names (ws : Detect.warning list) :
     !expired
     ||
     (incr checked;
-     if !checked land 7 = 0 && Unix.gettimeofday () > deadline then expired := true;
+     if !checked land 7 = 0 && Clock.now () > deadline then expired := true;
      !expired)
   in
   let survivors =
     List.fold_left
       (fun ws n ->
-        if !expired || Unix.gettimeofday () > deadline then begin
+        if !expired || Clock.now () > deadline then begin
           expired := true;
           skipped := n :: !skipped;
           ws

@@ -58,8 +58,8 @@ val apply_counted_deadline :
   name list ->
   Detect.warning list ->
   Detect.warning list * (name * int) list * name list
-(** Like {!apply_counted} but bounded by an absolute wall-clock
-    [deadline] (as from [Unix.gettimeofday]): filters run one name at a
+(** Like {!apply_counted} but bounded by an absolute monotonic
+    [deadline] (as from [Nadroid_clock.Clock.now]): filters run one name at a
     time, with the clock also sampled every few warnings {e inside} each
     filter, so one filter over a huge warning list cannot run
     arbitrarily past the deadline. A filter caught mid-run keeps its

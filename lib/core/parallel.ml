@@ -1,59 +1,165 @@
-(* A small fixed-size domain pool for data-parallel analysis.
+(* A reusable fixed-size domain pool with a submit/await queue.
 
-   Work items are claimed from a mutex-protected counter and results are
-   written back into a slot array indexed by input position, so the
-   output order (and content) is independent of the number of domains
-   and of scheduling.
+   Historically this module spawned fresh domains for every [map] call.
+   The serve daemon needs workers that outlive any one batch — spawning
+   a domain per request would dominate request latency — so the pool is
+   now a first-class value: [Pool.create] spawns the workers once,
+   [Pool.submit] enqueues a task and returns a future, [Pool.await]
+   blocks on its completion, and [Pool.shutdown] drains the queue and
+   joins the workers (graceful: queued work still runs).
 
-   [map_result] is the crash-isolated primitive: a task's exception is
-   captured in its own slot and the remaining items still run, so one
-   poisoned input cannot lose a batch. [map] keeps the historical
-   fail-fast contract on top of it. *)
+   [map_result] keeps its historical contract on top of the pool: input
+   order, crash isolation per slot, and — when no persistent pool is
+   passed — the same domain budget as the old spawn-per-map code (the
+   caller participates in the work via {!Pool.help}, so a transient map
+   on [jobs] still runs at most [jobs] tasks concurrently). *)
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-type 'b slot = Pending | Done of 'b
+module Pool = struct
+  type t = {
+    m : Mutex.t;
+    nonempty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable stopping : bool;
+    mutable domains : unit Domain.t list;
+    jobs : int;  (** worker domain count *)
+  }
 
-let map_result ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn) result list =
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let items = Array.of_list xs in
-  let n = Array.length items in
-  if n = 0 then []
-  else if jobs = 1 || n = 1 then
-    List.map (fun x -> try Ok (f x) with e -> Error e) xs
-  else begin
-    let results = Array.make n Pending in
-    let m = Mutex.create () in
-    let next = ref 0 in
-    let claim () =
-      Mutex.lock m;
-      let r = if !next >= n then None else Some !next in
-      if r <> None then incr next;
-      Mutex.unlock m;
-      r
+  type 'a state = Pending | Value of 'a | Exn of exn
+
+  type 'a future = {
+    fm : Mutex.t;
+    fc : Condition.t;
+    mutable state : 'a state;
+  }
+
+  let jobs t = t.jobs
+
+  let worker t =
+    let rec loop () =
+      Mutex.lock t.m;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.nonempty t.m
+      done;
+      (* on shutdown, keep draining until the queue is empty *)
+      if Queue.is_empty t.queue then Mutex.unlock t.m
+      else begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.m;
+        task ();
+        loop ()
+      end
     in
-    let rec worker () =
-      match claim () with
+    loop ()
+
+  let create ?jobs () =
+    let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    let t =
+      {
+        m = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        stopping = false;
+        domains = [];
+        jobs;
+      }
+    in
+    t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let submit t f =
+    let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+    let task () =
+      let r = match f () with v -> Value v | exception e -> Exn e in
+      Mutex.lock fut.fm;
+      fut.state <- r;
+      Condition.broadcast fut.fc;
+      Mutex.unlock fut.fm
+    in
+    Mutex.lock t.m;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      invalid_arg "Parallel.Pool.submit: pool is shut down"
+    end;
+    Queue.push task t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m;
+    fut
+
+  let await fut =
+    Mutex.lock fut.fm;
+    let rec wait () =
+      match fut.state with
+      | Pending ->
+          Condition.wait fut.fc fut.fm;
+          wait ()
+      | Value v -> Ok v
+      | Exn e -> Error e
+    in
+    let r = wait () in
+    Mutex.unlock fut.fm;
+    r
+
+  let help t =
+    let rec loop () =
+      Mutex.lock t.m;
+      let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+      Mutex.unlock t.m;
+      match task with
       | None -> ()
-      | Some i ->
-          results.(i) <- (match f items.(i) with r -> Done (Ok r) | exception e -> Done (Error e));
-          worker ()
+      | Some task ->
+          task ();
+          loop ()
     in
-    let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
-    Array.to_list
-      (Array.map (function Done r -> r | Pending -> assert false) results)
-  end
+    loop ()
 
-(* Fail-fast map: every item still runs (unlike the historical abort-on-
-   first-failure pool, all results are computed), but the first failure
-   in input order is re-raised in the caller, so existing callers keep
-   their contract. *)
-let map ?jobs f xs =
+  let shutdown t =
+    Mutex.lock t.m;
+    if t.stopping then Mutex.unlock t.m
+    else begin
+      t.stopping <- true;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.m;
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+end
+
+let map_result ?pool ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn) result list =
+  let n = List.length xs in
+  if n = 0 then []
+  else
+    match pool with
+    | Some p ->
+        (* persistent pool: the caller blocks on the futures rather than
+           stealing work — a server's control loop must stay responsive,
+           not run analyses *)
+        ignore (Pool.jobs p);
+        let futs = List.map (fun x -> Pool.submit p (fun () -> f x)) xs in
+        List.map Pool.await futs
+    | None ->
+        let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+        if jobs = 1 || n = 1 then
+          List.map (fun x -> try Ok (f x) with e -> Error e) xs
+        else begin
+          (* transient pool, same domain budget as the historical
+             spawn-per-map: [min jobs n - 1] workers plus the caller *)
+          let p = Pool.create ~jobs:(min jobs n - 1) () in
+          let futs = List.map (fun x -> Pool.submit p (fun () -> f x)) xs in
+          Pool.help p;
+          let rs = List.map Pool.await futs in
+          Pool.shutdown p;
+          rs
+        end
+
+(* Fail-fast map: every item still runs (all results are computed), but
+   the first failure in input order is re-raised in the caller, so
+   existing callers keep their contract. *)
+let map ?pool ?jobs f xs =
   let rec unwrap = function
     | [] -> []
     | Ok r :: rest -> r :: unwrap rest
     | Error e :: _ -> raise e
   in
-  unwrap (map_result ?jobs f xs)
+  unwrap (map_result ?pool ?jobs f xs)

@@ -1,20 +1,63 @@
-(** A fixed-size domain pool (OCaml 5 [Domain]/[Mutex]) for data-parallel
-    analysis over independent work items.
+(** A reusable fixed-size domain pool (OCaml 5 [Domain]/[Mutex]) with a
+    submit/await queue.
 
-    Results are returned in input order regardless of [jobs] or
-    scheduling; tasks must not share mutable state. *)
+    Two entry points share the same workers:
+
+    - {!Pool}: a persistent pool for long-lived processes (the serve
+      daemon) — create once, submit tasks as requests arrive, await
+      their futures, shut down gracefully (queued work drains first).
+    - {!map_result}/{!map}: the batch primitive — results in input
+      order regardless of scheduling; tasks must not share mutable
+      state. Pass [?pool] to run a batch on a persistent pool, or omit
+      it for a self-contained map with the historical domain budget. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
-val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
-(** Crash-isolated map: applies [f] to every element on up to [jobs]
-    domains (default {!default_jobs}; [jobs = 1] runs in the calling
-    domain with no spawns). A task's exception is captured as [Error] in
-    its own slot and the remaining items still run — one poisoned input
-    cannot lose the batch. Deterministic in input order. *)
+module Pool : sig
+  type t
+  (** A fixed set of worker domains sharing one task queue. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+  type 'a future
+  (** The pending result of a submitted task. *)
+
+  val create : ?jobs:int -> unit -> t
+  (** Spawn [jobs] workers (default {!default_jobs}, min 1). *)
+
+  val jobs : t -> int
+  (** Worker-domain count of the pool. *)
+
+  val submit : t -> (unit -> 'a) -> 'a future
+  (** Enqueue a task. Tasks start in submission order (completion order
+      depends on scheduling). @raise Invalid_argument after
+      {!shutdown}. *)
+
+  val await : 'a future -> ('a, exn) result
+  (** Block until the task finishes; its exception, if any, is captured
+      in the result, never re-raised into the awaiting domain. *)
+
+  val help : t -> unit
+  (** Run queued tasks in the calling domain until the queue is empty —
+      lets a caller that would otherwise block participate in its own
+      batch (the transient-map path uses this to keep the historical
+      concurrency budget). *)
+
+  val shutdown : t -> unit
+  (** Graceful: stop accepting work, let the workers drain the queue,
+      then join them. Idempotent. *)
+end
+
+val map_result :
+  ?pool:Pool.t -> ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Crash-isolated map: applies [f] to every element, capturing a task's
+    exception as [Error] in its own slot while the remaining items still
+    run — one poisoned input cannot lose the batch. Deterministic in
+    input order. With [?pool], tasks run on the persistent pool (the
+    caller only awaits); otherwise up to [jobs] (default
+    {!default_jobs}) run concurrently, counting the caller — [jobs = 1]
+    runs in the calling domain with no spawns. *)
+
+val map : ?pool:Pool.t -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Fail-fast map on top of {!map_result}: the first failure in input
-    order is re-raised in the caller after all domains have joined.
-    Same output as [List.map f xs] whenever [f] is pure. *)
+    order is re-raised in the caller after the batch completes. Same
+    output as [List.map f xs] whenever [f] is pure. *)

@@ -10,6 +10,7 @@
 open Nadroid_lang
 open Nadroid_ir
 open Nadroid_analysis
+module Clock = Nadroid_clock.Clock
 
 (* Per-phase resource budgets. [pta_steps] is deterministic (instruction
    transfers); [pta_tuples] is a memory ceiling on live relation
@@ -69,7 +70,10 @@ type timings = { t_modeling : float; t_detection : float; t_filtering : float }
 (* Per-phase wall times plus per-filter prune counts. Every timed region
    of [analyze_prog] is attributed to exactly one field, so the phase
    times sum to the measured wall time (up to the record plumbing between
-   [gettimeofday] calls) — the §8.8 breakdown invariant. *)
+   clock reads) — the §8.8 breakdown invariant. All deadline
+   arithmetic and duration measurement uses the monotonic clock
+   ({!Clock.now}): a wall-clock step in a long-lived process must never
+   fire or starve a deadline. *)
 type metrics = {
   m_pta : float;  (** points-to analysis *)
   m_aux : float;  (** escape + lockset analyses *)
@@ -117,9 +121,9 @@ type t = {
 }
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Clock.now () -. t0)
 
 (* Run the points-to analysis under the configured bounds — step budget,
    tuple ceiling, and the absolute wall-clock deadline, any of which may
@@ -147,7 +151,7 @@ let analyze_prog ?auto_tuples ?(config = default_config) (prog : Prog.t) : t =
   (* modeling: threadification needs the points-to pass, whose dominant
      cost we attribute to detection as in the paper; modeling time covers
      forest construction *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let deadline = Option.map (fun d -> t0 +. d) config.budgets.deadline in
   (* The auto-derived (size-calibrated) ceiling guards the points-to
      table only: PTA can fall down the k ladder when it trips, so the
@@ -204,7 +208,7 @@ let analyze_prog ?auto_tuples ?(config = default_config) (prog : Prog.t) : t =
       m_detect = t_detect;
       m_ctx = t_ctx;
       m_filter = t_filter;
-      m_wall = Unix.gettimeofday () -. t0;
+      m_wall = Clock.now () -. t0;
       m_pta_visits = Pta.visits pta;
       m_pta_steps = Pta.steps pta;
       m_pta_tuples = Pta.tuples pta;

@@ -22,7 +22,9 @@ type budgets = {
           detection join's Datalog database (a hard bound there); the
           auto-derived default applies to the points-to table only *)
   deadline : float option;
-      (** wall-clock seconds for the whole analysis, enforced in-flight:
+      (** seconds of real time for the whole analysis (measured on the
+          monotonic clock, so a wall-clock step never fires or starves
+          it), enforced in-flight:
           periodic checkpoints inside the PTA worklist (down the k
           ladder), thread-forest expansion and detection (hard faults —
           partial results there would lose coverage), and the

@@ -19,6 +19,7 @@ open Nadroid_ir
 open Nadroid_android
 open Nadroid_analysis
 module IntSet = Pta.IntSet
+module Clock = Nadroid_clock.Clock
 
 type kind =
   | Dummy_main
@@ -105,7 +106,7 @@ let run ?deadline (pta : Pta.t) : t =
     | None -> fun () -> ()
     | Some d ->
         fun () ->
-          if Unix.gettimeofday () > d then
+          if Clock.now () > d then
             raise (Fault.Fault (Fault.Budget Fault.P_modeling))
   in
   let threads = ref [] in

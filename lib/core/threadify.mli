@@ -45,8 +45,8 @@ val on_looper : thread -> bool
 val is_callback : thread -> bool
 
 val run : ?deadline:float -> Pta.t -> t
-(** Build the thread forest. [deadline] (absolute [Unix.gettimeofday]
-    instant) is checked once per thread expansion; a partial forest would
+(** Build the thread forest. [deadline] (absolute monotonic
+    {!Nadroid_clock.Clock.now} instant) is checked once per thread expansion; a partial forest would
     silently drop warnings, so expiry raises
     [Fault (Budget P_modeling)] rather than degrading. *)
 

@@ -14,6 +14,7 @@
 
 module Fault = Nadroid_core.Fault
 module Pipeline = Nadroid_core.Pipeline
+module Clock = Nadroid_clock.Clock
 
 (* -- seeded source mutation ---------------------------------------------- *)
 
@@ -312,20 +313,20 @@ let run ?jobs ?config ?(deadline = 10.0) ~seed ~mutants (apps : Corpus.app list)
   if apps = [] then invalid_arg "Chaos.run: empty app list";
   let config = match config with Some c -> c | None -> fuzz_config ~deadline in
   ignore (Lazy.force Nadroid_lang.Builtins.program);
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let napps = List.length apps in
   let one i =
     let app = List.nth apps (i mod napps) in
     let rng = Random.State.make [| seed; i |] in
     let mutant, op = mutate rng app.Corpus.source in
-    let m0 = Unix.gettimeofday () in
+    let m0 = Clock.now () in
     let r =
       Fault.wrap (fun () ->
           Nadroid_core.Pipeline.analyze ~config
             ~file:(Printf.sprintf "%s#%d" app.Corpus.name i)
             mutant)
     in
-    let elapsed = Unix.gettimeofday () -. m0 in
+    let elapsed = Clock.now () -. m0 in
     (app.Corpus.name, i, op, r, elapsed)
   in
   let results =
@@ -375,7 +376,7 @@ let run ?jobs ?config ?(deadline = 10.0) ~seed ~mutants (apps : Corpus.app list)
   in
   {
     summary with
-    s_elapsed = Unix.gettimeofday () -. t0;
+    s_elapsed = Clock.now () -. t0;
     s_uncaught = List.rev summary.s_uncaught;
     s_overruns = List.rev summary.s_overruns;
   }

@@ -32,6 +32,7 @@ module Detect = Nadroid_core.Detect
 module Fault = Nadroid_core.Fault
 module Explorer = Nadroid_dynamic.Explorer
 module Interp = Nadroid_dynamic.Interp
+module Clock = Nadroid_clock.Clock
 
 type oracle = {
   dr_runs : int;  (** uniform random walks per app *)
@@ -242,7 +243,7 @@ let failed s = s.su_counterexamples <> [] || s.su_faults <> []
 let run ?jobs ?(oracle = default_oracle) ?(weaken = W_none) ~seed ~apps () : summary =
   if apps <= 0 then invalid_arg "Differential.run: apps must be positive";
   ignore (Lazy.force Nadroid_lang.Builtins.program);
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let one i = check ~oracle ~weaken (Synth.generate ~seed:(seed + i)) in
   let results = Nadroid_core.Parallel.map_result ?jobs one (List.init apps Fun.id) in
   let zero = { fs_kills = 0; fs_bad = 0 } in
@@ -287,7 +288,7 @@ let run ?jobs ?(oracle = default_oracle) ?(weaken = W_none) ~seed ~apps () : sum
     s with
     su_counterexamples = List.rev s.su_counterexamples;
     su_faults = List.rev s.su_faults;
-    su_elapsed = Unix.gettimeofday () -. t0;
+    su_elapsed = Clock.now () -. t0;
   }
 
 (* -- reporting ------------------------------------------------------------ *)

@@ -1,13 +1,21 @@
 (** String interning: Datalog constants are dense integers; this table
     maps them back and forth to names, mirroring how Chord maps program
-    entities into bddbddb domains. *)
+    entities into bddbddb domains.
+
+    Safe for concurrent use from several domains: {!intern} and
+    {!find_opt} are mutex-guarded (interning the same overlapping name
+    sets from N domains yields one consistent bijection), while {!name}
+    and {!size} read lock-free. Ids must reach other domains through a
+    synchronised hand-off (a future, a join, a mutex) — which every
+    pool-based consumer already provides. *)
 
 type t
 
 val create : unit -> t
 
 val intern : t -> string -> int
-(** Idempotent: the same name always yields the same id. *)
+(** Idempotent: the same name always yields the same id, including under
+    concurrent interning from several domains. *)
 
 val find_opt : t -> string -> int option
 

@@ -1,0 +1,71 @@
+(* Blocking protocol client. The fd stays in blocking mode — simplicity
+   wins on this side — but writes still loop over partial transfers and
+   retry EINTR, and reads buffer until the newline arrives, so a slow or
+   chunked server never corrupts the framing. *)
+
+type t = { fd : Unix.file_descr; mutable residue : string }
+
+let addr_of = function
+  | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | `Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+
+let connect ?(retries = 40) listen =
+  let domain, addr = addr_of listen in
+  let rec attempt left =
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> { fd; residue = "" }
+    | exception
+        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when left > 0
+      ->
+        Unix.close fd;
+        (* the daemon may still be binding its socket *)
+        Unix.sleepf 0.05;
+        attempt (left - 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  attempt retries
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec loop pos =
+    if pos < len then
+      match Unix.write fd bytes pos (len - pos) with
+      | n -> loop (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop pos
+  in
+  loop 0
+
+let send t line = write_all t.fd (Bytes.of_string (line ^ "\n"))
+
+let recv_line t =
+  let buf = Bytes.create 8192 in
+  let rec loop () =
+    match String.index_opt t.residue '\n' with
+    | Some i ->
+        let line = String.sub t.residue 0 i in
+        t.residue <-
+          String.sub t.residue (i + 1) (String.length t.residue - i - 1);
+        line
+    | None -> (
+        match Unix.read t.fd buf 0 (Bytes.length buf) with
+        | 0 -> raise End_of_file
+        | n ->
+            t.residue <- t.residue ^ Bytes.sub_string buf 0 n;
+            loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  loop ()
+
+let request t line =
+  send t line;
+  recv_line t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,21 @@
+(** A blocking client for the {!Server} protocol — used by the
+    [nadroid request] subcommand, the serve benchmark driver and the
+    integration tests. One connection, requests answered in order. *)
+
+type t
+
+val connect : ?retries:int -> Server.listen -> t
+(** Connect, retrying [retries] times (default 40, 50ms apart) while the
+    daemon is still booting ([ENOENT]/[ECONNREFUSED]).
+    @raise Unix.Unix_error when the last retry fails. *)
+
+val request : t -> string -> string
+(** Send one request line (newline appended) and block for the response
+    line (newline stripped). Handles [EINTR] and partial writes.
+    @raise End_of_file if the server closes before responding. *)
+
+val send : t -> string -> unit
+(** Just send a request line — for shutdown-and-go clients that do not
+    wait for the acknowledgement. *)
+
+val close : t -> unit

@@ -1,0 +1,40 @@
+(** The [nadroid serve] daemon: a long-lived analysis service.
+
+    One process keeps the expensive state warm — the framework model
+    (the builtins program), the interned symbol tables, the on-disk
+    analysis cache — and serves analyze requests over a Unix or TCP
+    socket using the newline-JSON protocol of {!Protocol}. Analyses run
+    on a persistent {!Nadroid_core.Parallel.Pool}; the accept/IO loop
+    never analyzes, so the daemon stays responsive under load.
+
+    Robustness contract: [SIGPIPE] is ignored and every read/write
+    handles [EINTR], [EAGAIN] and partial transfers, so a client that
+    disconnects mid-request (or mid-response) costs at most its own
+    connection — never a worker, never the daemon. Per-request
+    deadlines ride the pipeline's in-flight cancellation: an expired
+    request degrades soundly or returns a budget fault, and the worker
+    that ran it picks up the next request untouched. *)
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+(** Where to listen: a Unix socket path (unlinked when stale on bind and
+    again on exit) or a TCP host/port. *)
+
+type config = {
+  jobs : int option;  (** worker domains (default: all cores) *)
+  cache_dir : string;  (** analysis-cache directory for [cache] requests *)
+  cache_max_bytes : int option;  (** LRU ceiling applied after stores *)
+  default_deadline : float option;
+      (** deadline for requests that set none; [None] = unbounded *)
+  quiet : bool;  (** suppress the per-request stderr log *)
+  install_signals : bool;
+      (** install [SIGTERM]/[SIGINT] handlers that trigger the graceful
+          drain; disable when embedding the server in a test process *)
+}
+
+val default_config : config
+
+val run : ?config:config -> listen -> unit
+(** Serve until a [shutdown] request (or [SIGTERM]/[SIGINT] when
+    installed) starts the graceful drain: stop accepting, let in-flight
+    analyses finish and their responses flush, then join the workers and
+    return. Raises [Unix.Unix_error] if the socket cannot be bound. *)

@@ -102,4 +102,54 @@ if ! grep -q 'DEGRADED' "$adv_out"; then
 fi
 rm -f "$adv_src" "$adv_out"
 
+# 11. Monotonic-clock gate: deadline/duration arithmetic must never read
+#     the wall clock. The only gettimeofday in lib/bin/bench is the one
+#     inside lib/clock that feeds Clock.wall (display timestamps only).
+if grep -rn "Unix.gettimeofday" lib bin bench --include='*.ml' \
+  | grep -v '^lib/clock/clock\.ml:'; then
+  echo "ci: Unix.gettimeofday outside lib/clock — use Nadroid_clock.Clock" >&2
+  exit 1
+fi
+
+# 12. Serve daemon smoke: boot, answer a request batch byte-identically
+#     to the cold CLI, drain on shutdown, exit 0.
+serve_sock="/tmp/nadroid-ci.$$.sock"
+serve_src="_nadroid_cache/ci-serve.$$.mand"
+rm -f "$serve_sock"
+dune build bin/nadroid.exe
+./_build/default/bin/nadroid.exe corpus ConnectBot > "$serve_src"
+./_build/default/bin/nadroid.exe serve --socket "$serve_sock" --quiet &
+serve_pid=$!
+cold=$(./_build/default/bin/nadroid.exe analyze --json "$serve_src")
+warm=$(./_build/default/bin/nadroid.exe request --socket "$serve_sock" \
+  "$serve_src" "$serve_src" "$serve_src")
+if [ "$warm" != "$cold
+$cold
+$cold" ]; then
+  echo "ci: daemon responses differ from cold analyze --json" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+./_build/default/bin/nadroid.exe request --socket "$serve_sock" --shutdown \
+  > /dev/null
+if ! wait "$serve_pid"; then
+  echo "ci: serve daemon did not exit 0 on graceful shutdown" >&2
+  exit 1
+fi
+rm -f "$serve_src" "$serve_sock"
+
+# 13. Serve bench smoke: concurrent clients against a forked daemon must
+#     report zero byte mismatches and a clean daemon exit in BENCH_6.json.
+dune exec --no-print-directory bench/main.exe -- serve --json \
+  --clients 4 --rounds 1 --jobs 1 >/dev/null
+for key in '"rps"' '"p50"' '"p99"' '"mismatches":0' '"daemon_exit":0'; do
+  case $(cat BENCH_6.json) in
+  *${key}*) ;;
+  *)
+    echo "ci: BENCH_6.json is missing ${key}" >&2
+    exit 1
+    ;;
+  esac
+done
+
 echo "ci: ok"

@@ -195,10 +195,45 @@ let index_survives_inserts () =
     (sorted (Relation.to_list r))
     (sorted (List.concat_map lookup0 [ 1; 2; 3 ]))
 
+(* Concurrent interning: N domains racing overlapping name sets (more
+   distinct names than the initial 256-slot [by_id], so resize races are
+   exercised too) must agree on one bijection — same name, same id;
+   dense ids; [name] inverting [intern]. *)
+let symbol_concurrent_bijection =
+  QCheck2.Test.make ~name:"concurrent interning yields a consistent bijection" ~count:10
+    QCheck2.Gen.(pair (int_range 300 700) (int_bound 1000))
+    (fun (distinct, salt) ->
+      let names = Array.init distinct (fun i -> Printf.sprintf "sym-%d-%d" salt i) in
+      let sym = Symbol.create () in
+      let order d =
+        (* each domain interns every name, in its own rotation *)
+        let rot = d * (distinct / 4) in
+        List.init distinct (fun i -> names.((i + rot) mod distinct))
+      in
+      let domains =
+        List.init 4 (fun d ->
+            let mine = order d in
+            Domain.spawn (fun () -> List.map (fun n -> (n, Symbol.intern sym n)) mine))
+      in
+      let per_domain = List.map Domain.join domains in
+      (* one consistent bijection: idempotent re-interning agrees with
+         what every domain saw, names invert, ids are dense *)
+      Symbol.size sym = distinct
+      && List.for_all
+           (List.for_all (fun (n, id) ->
+                Symbol.intern sym n = id
+                && Symbol.find_opt sym n = Some id
+                && String.equal (Symbol.name sym id) n))
+           per_domain
+      && List.sort_uniq compare
+           (List.map (fun (_, id) -> id) (List.concat per_domain))
+         = List.init distinct Fun.id)
+
 let suite =
   [
     ("datalog", tests @ [ Alcotest.test_case "indexes survive inserts" `Quick index_survives_inserts ]);
     ( "datalog-properties",
-      List.map QCheck_alcotest.to_alcotest [ closure_matches_naive; monotone_under_new_facts ]
+      List.map QCheck_alcotest.to_alcotest
+        [ closure_matches_naive; monotone_under_new_facts; symbol_concurrent_bijection ]
     );
   ]

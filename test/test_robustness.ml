@@ -16,6 +16,7 @@ module Fault = Nadroid_core.Fault
 module Detect = Nadroid_core.Detect
 module Corpus = Nadroid_corpus.Corpus
 module Chaos = Nadroid_corpus.Chaos
+module Clock = Nadroid_clock.Clock
 
 let analyze_src src =
   Fault.wrap (fun () -> Pipeline.analyze ~file:"fuzz" src)
@@ -158,9 +159,9 @@ let deadline_is_honoured_in_flight () =
       Pipeline.budgets = { Pipeline.no_budgets with Pipeline.deadline = Some d };
     }
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let t = Pipeline.analyze ~config ~file:"adversarial" src in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Clock.now () -. t0 in
   Alcotest.(check bool)
     (Fmt.str "terminates within 2x the deadline (took %.2fs)" wall)
     true (wall <= 2.0 *. d);
@@ -183,6 +184,53 @@ let deadline_is_honoured_in_flight () =
         (Fmt.str "full-precision warning %s survives the deadline cut" (fst k))
         true (List.mem k degraded_keys))
     (keys full)
+
+(* Deadlines live on the monotonic clock, so a wall-clock step (NTP
+   correction, DST, an operator fixing the date) between deriving a
+   deadline and hitting a checkpoint must change nothing: a forward jump
+   must not fire it early, a backward jump must not starve it — it still
+   expires exactly once, at its real instant. [Clock.step_wall] skews
+   only the wall clock ({!Clock.wall}, display); if any deadline check
+   consulted wall time, one of the two runs below would break. *)
+let deadline_survives_wall_clock_step () =
+  let with_budget d =
+    {
+      Pipeline.default_config with
+      Pipeline.budgets = { Pipeline.no_budgets with Pipeline.deadline = Some d };
+    }
+  in
+  let app =
+    match Corpus.find "Zxing" with Some a -> a | None -> Alcotest.fail "no Zxing"
+  in
+  (* wall jumps a day ahead mid-run: a wall-derived deadline would have
+     expired before the first checkpoint *)
+  Fun.protect
+    ~finally:(fun () -> Clock.step_wall (-86_400.0))
+    (fun () ->
+      Clock.step_wall 86_400.0;
+      let t =
+        Pipeline.analyze ~config:(with_budget 30.0) ~file:app.Corpus.name app.Corpus.source
+      in
+      Alcotest.(check (list string))
+        "forward wall step does not fire a live deadline" []
+        (List.map Pipeline.degradation_to_string t.Pipeline.metrics.Pipeline.m_degraded));
+  (* wall jumps a day back: a wall-derived deadline would never expire,
+     letting the pathological app run the filter phase to completion *)
+  Fun.protect
+    ~finally:(fun () -> Clock.step_wall 86_400.0)
+    (fun () ->
+      Clock.step_wall (-86_400.0);
+      let d = 0.4 in
+      let src = Nadroid_corpus.Synth.adversarial ~seed:0 ~size:40 in
+      let t0 = Clock.now () in
+      let t = Pipeline.analyze ~config:(with_budget d) ~file:"adversarial" src in
+      let wall = Clock.now () -. t0 in
+      Alcotest.(check bool)
+        (Fmt.str "backward wall step does not starve the deadline (took %.2fs)" wall)
+        true (wall <= 2.0 *. d);
+      Alcotest.(check bool)
+        "the deadline still expired (run degraded) exactly once" true
+        (t.Pipeline.metrics.Pipeline.m_degraded <> []))
 
 let chaos_smoke () =
   let s = Chaos.run ~jobs:2 ~seed:7 ~mutants:48 (Lazy.force Corpus.all) in
@@ -224,6 +272,8 @@ let suite =
           degrade_ladder_at_derived_budget;
         Alcotest.test_case "deadline is honoured in flight" `Quick
           deadline_is_honoured_in_flight;
+        Alcotest.test_case "deadline survives a wall-clock step" `Quick
+          deadline_survives_wall_clock_step;
         Alcotest.test_case "chaos smoke finds nothing on the corpus" `Slow chaos_smoke;
         Alcotest.test_case "mutator is deterministic per (seed, index)" `Quick
           mutate_deterministic;
