@@ -9,6 +9,7 @@
      dune exec bench/main.exe timing     -- §8.8 phase split + Bechamel
      dune exec bench/main.exe perf       -- cold/warm/reference batches (BENCH_4.json)
      dune exec bench/main.exe serve      -- daemon throughput/latency (BENCH_6.json)
+     dune exec bench/main.exe crash      -- supervision + kill/resume (BENCH_7.json)
      dune exec bench/main.exe ablation   -- design-choice ablations
 
    Expected shapes (not absolute numbers — see DESIGN.md §2) are quoted
@@ -880,6 +881,198 @@ let extension () =
     "  (same threadification + points-to machinery; the teardown filter is the MHB analogue)\n"
 
 (* ---------------------------------------------------------------- *)
+(* crash: supervision overhead and kill/resume latency (BENCH_7)      *)
+(* ---------------------------------------------------------------- *)
+
+module Journal = Nadroid_core.Journal
+module Supervise = Nadroid_core.Supervise
+module Faultinject = Nadroid_core.Faultinject
+
+let bench7_json_file = "BENCH_7.json"
+
+(* One journaled corpus batch — the `nadroid analyze --journal` shape,
+   in-process: replayed records short-circuit, fresh results append.
+   Returns the batch digest (one MD5 over every entry's counts and
+   report bytes in corpus order) and the replay count; kill/resume
+   identity is judged on the digest. *)
+let journaled_batch ~jobs ~jpath ~resume apps : string * int =
+  let journal, replayed = Journal.open_ ~path:jpath ~resume in
+  let idx = Journal.latest replayed in
+  let config = Pipeline.default_config in
+  let reused = Atomic.make 0 in
+  let task (app : Corpus.app) =
+    let key = Cache.key ~config app.Corpus.source in
+    match Hashtbl.find_opt idx app.Corpus.name with
+    | Some r when String.equal r.Journal.j_key key -> (
+        ignore (Atomic.fetch_and_add reused 1);
+        match r.Journal.j_result with
+        | Ok e -> e
+        | Error f -> raise (Fault.Fault f))
+    | _ ->
+        let e =
+          Cache.entry_of_result
+            (Pipeline.analyze ~config ~file:app.Corpus.name app.Corpus.source)
+        in
+        Journal.append journal
+          { Journal.j_name = app.Corpus.name; j_key = key; j_result = Ok e };
+        e
+  in
+  let entries =
+    List.map
+      (function Ok e -> e | Error e -> raise e)
+      (Nadroid_core.Parallel.map_result ~jobs task apps)
+  in
+  Journal.close journal;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Cache.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d/%d/%d\n%s\n" e.Cache.e_potential e.Cache.e_after_sound
+           e.Cache.e_after_unsound e.Cache.e_report))
+    entries;
+  (Digest.to_hex (Digest.string (Buffer.contents buf)), Atomic.get reused)
+
+(* Run one journaled batch in a child process (re-exec of this binary in
+   the hidden `crash-batch` mode — fork is off-limits once any domain
+   has existed). [faults] becomes the child's NADROID_FAULTS, so the
+   kill lands through the same env-armed path production workers use.
+   Returns the wait status and the elapsed wall time. *)
+let run_batch_child ?faults ~jobs ~jpath ~dfile ~resume () =
+  let env =
+    Array.of_list
+      (List.filter
+         (fun e -> not (String.starts_with ~prefix:(Faultinject.env_var ^ "=") e))
+         (Array.to_list (Unix.environment ()))
+      @ (match faults with None -> [] | Some f -> [ Faultinject.env_var ^ "=" ^ f ]))
+  in
+  flush stdout;
+  flush stderr;
+  let t0 = Clock.now () in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [|
+        Sys.executable_name; "crash-batch"; jpath; dfile;
+        (if resume then "1" else "0"); string_of_int jobs;
+      |]
+      env Unix.stdin Unix.stdout Unix.stderr
+  in
+  let _, status = Unix.waitpid [] pid in
+  (status, Clock.now () -. t0)
+
+let read_small_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Crash-survival economics: what supervision costs on a clean batch
+   (apps/sec, plain vs one-process-per-app workers) and what resume
+   saves after a mid-batch SIGKILL (a child armed to die at the middle
+   journal append, then a --resume-shaped rerun whose digest must equal
+   the uninterrupted run's). Under --json the document also lands in
+   BENCH_7.json. Fails (exit 1) on any supervised fault, a child that
+   does not die/exit as scripted, or a digest mismatch. *)
+let crash ~jobs ~json () =
+  let apps = Lazy.force Corpus.all in
+  let n = List.length apps in
+  let config = Pipeline.default_config in
+  (* plain in-process batch *)
+  let t0 = Clock.now () in
+  let plain =
+    Eval.keep_ok ~what:"crash-plain" ~name:Eval.app_name
+      (Corpus.analyze_all ~config ~jobs apps)
+  in
+  let plain_elapsed = Clock.now () -. t0 in
+  if List.length plain < n then exit 1;
+  (* supervised batch: same apps, each in a worker process *)
+  let sp = Supervise.create ~jobs () in
+  let t0 = Clock.now () in
+  let sup =
+    Nadroid_core.Parallel.map_result ~jobs
+      (fun (app : Corpus.app) ->
+        match Supervise.analyze sp ~config ~file:app.Corpus.name app.Corpus.source with
+        | Ok e -> e
+        | Error f -> raise (Fault.Fault f))
+      apps
+  in
+  let sup_elapsed = Clock.now () -. t0 in
+  Supervise.shutdown sp;
+  let sup_ok = List.length (List.filter Result.is_ok sup) in
+  if sup_ok < n then begin
+    Printf.eprintf "crash: %d of %d supervised analyses faulted\n" (n - sup_ok) n;
+    exit 1
+  end;
+  (* kill + resume over a journaled batch *)
+  let dir = Printf.sprintf "_crash_bench.%d" (Unix.getpid ()) in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let jpath = Filename.concat dir "journal" in
+  let dfile = Filename.concat dir "digest" in
+  let expect_exit0 what = function
+    | Unix.WEXITED 0 -> ()
+    | s ->
+        Printf.eprintf "crash: %s child %s\n" what (Supervise.status_string s);
+        exit 1
+  in
+  (try Sys.remove jpath with Sys_error _ -> ());
+  let full_status, full_elapsed = run_batch_child ~jobs ~jpath ~dfile ~resume:false () in
+  expect_exit0 "uninterrupted" full_status;
+  let full_digest = read_small_file dfile in
+  (try Sys.remove jpath with Sys_error _ -> ());
+  let kill_at = max 1 (n / 2) in
+  let kill_status, _ =
+    run_batch_child
+      ~faults:(Printf.sprintf "journal_append:%d:kill" kill_at)
+      ~jobs ~jpath ~dfile ~resume:false ()
+  in
+  (match kill_status with
+  | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | s ->
+      Printf.eprintf "crash: expected the batch to die by SIGKILL, got %s\n"
+        (Supervise.status_string s);
+      exit 1);
+  let survivors = List.length (Journal.replay ~path:jpath) in
+  let resume_status, resume_elapsed = run_batch_child ~jobs ~jpath ~dfile ~resume:true () in
+  expect_exit0 "resume" resume_status;
+  let identical = String.equal full_digest (read_small_file dfile) in
+  if not identical then begin
+    Printf.eprintf "crash: resumed batch digest differs from the uninterrupted run\n";
+    exit 1
+  end;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ jpath; dfile ];
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let rate t = if t > 0.0 then float_of_int n /. t else 0.0 in
+  let ratio a b = if b > 0.0 then a /. b else 0.0 in
+  if json then begin
+    let doc =
+      Printf.sprintf
+        "{\"jobs\":%d,\"plain\":{\"apps\":%d,\"elapsed\":%.6f,\"apps_per_sec\":%.3f},\"supervised\":{\"apps\":%d,\"elapsed\":%.6f,\"apps_per_sec\":%.3f,\"overhead_vs_plain\":%.3f},\"kill_resume\":{\"apps\":%d,\"kill_at_append\":%d,\"journal_records_at_kill\":%d,\"full_elapsed\":%.6f,\"resume_elapsed\":%.6f,\"resume_speedup\":%.3f,\"identical\":%b}}"
+        jobs n plain_elapsed (rate plain_elapsed) n sup_elapsed (rate sup_elapsed)
+        (ratio sup_elapsed plain_elapsed)
+        n kill_at survivors full_elapsed resume_elapsed
+        (ratio full_elapsed resume_elapsed)
+        identical
+    in
+    let oc = open_out_bin bench7_json_file in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc);
+    print_endline doc
+  end
+  else begin
+    Eval.section "Crash survival: supervision overhead and kill/resume latency";
+    Printf.printf
+      "  plain batch:      %d apps in %.3f s (%.1f apps/s, %d jobs)\n" n plain_elapsed
+      (rate plain_elapsed) jobs;
+    Printf.printf
+      "  supervised batch: %d apps in %.3f s (%.1f apps/s, %.2fx the plain wall)\n" n
+      sup_elapsed (rate sup_elapsed)
+      (ratio sup_elapsed plain_elapsed);
+    Printf.printf
+      "  kill/resume:      SIGKILL at append %d left %d journaled; resume %.3f s vs full %.3f s (%.1fx), digests %s\n"
+      kill_at survivors resume_elapsed full_elapsed
+      (ratio full_elapsed resume_elapsed)
+      (if identical then "identical" else "DIFFER")
+  end
+
+(* ---------------------------------------------------------------- *)
 
 let () =
   (* usage: main.exe [EXPERIMENT] [--jobs N] [--json]
@@ -892,6 +1085,29 @@ let () =
      through the analysis cache; `perf` always uses a scratch cache
      under --cache-dir; --cache-max-bytes LRU-evicts the cache to that
      size after each store. *)
+  (* a marked child (supervised worker) serves analyses and never
+     reaches the drivers; injection specs in the environment apply to
+     this process too *)
+  Supervise.worker_check ();
+  (match Faultinject.init_from_env () with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "bad %s: %s\n" Faultinject.env_var e;
+      exit 2);
+  (* hidden child mode for the crash driver: one journaled corpus batch,
+     digest written to a file (see run_batch_child) *)
+  (match Array.to_list Sys.argv with
+  | _ :: "crash-batch" :: jpath :: dfile :: resume :: jobs :: _ ->
+      ignore (Lazy.force Nadroid_lang.Builtins.program);
+      let d, _ =
+        journaled_batch ~jobs:(int_of_string jobs) ~jpath
+          ~resume:(String.equal resume "1")
+          (Lazy.force Corpus.all)
+      in
+      let oc = open_out_bin dfile in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc d);
+      exit 0
+  | _ -> ());
   let which = ref "all" and jobs = ref (Nadroid_core.Parallel.default_jobs ()) and json = ref false in
   let use_cache = ref false
   and no_cache = ref false
@@ -962,6 +1178,7 @@ let () =
       ("timing", timing ~jobs ~json ~cache ~cache_max_bytes);
       ("perf", perf ~jobs ~json ~cache_dir ~cache_max_bytes);
       ("serve", serve_bench ~jobs ~json ~clients ~rounds);
+      ("crash", crash ~jobs ~json);
       ("ablation", ablation);
       ("extension", extension);
     ]

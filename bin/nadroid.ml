@@ -160,9 +160,49 @@ let analyze_cmd =
             "machine-readable output: one JSON object with per-file warning counts and the \
              fault inventory, instead of the human report")
   in
+  let supervise_arg =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "analyze each FILE in a supervised child process: a file that segfaults, is \
+             OOM-killed or wedges costs exactly one fault entry — the worker is respawned \
+             and the rest of the batch completes; a file that crashes two consecutive \
+             workers is quarantined")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "heartbeat" ] ~docv:"SECS"
+          ~doc:
+            "with --supervise: max seconds one file may stay unanswered before its worker is \
+             declared wedged and replaced (default: unbounded)")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "record each completed file in an append-only checksummed journal; together with \
+             $(b,--resume), a killed batch can be rerun re-analyzing only the missing files")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "replay the $(b,--journal) before analyzing: files whose journaled completion \
+             digest still matches are served from the journal, producing output \
+             byte-identical to an uninterrupted run")
+  in
   let run files k sound_only jobs timings json budget_pta budget_tuples deadline
-      budget_explorer cache no_cache cache_dir cache_max_bytes =
+      budget_explorer cache no_cache cache_dir cache_max_bytes supervise heartbeat
+      journal_path resume =
     let module Cache = Nadroid_core.Cache in
+    let module Journal = Nadroid_core.Journal in
+    let module Supervise = Nadroid_core.Supervise in
     let config =
       {
         Pipeline.default_config with
@@ -172,26 +212,87 @@ let analyze_cmd =
       }
     in
     let use_cache = cache_enabled cache no_cache in
+    if resume && journal_path = None then begin
+      Fmt.epr "--resume needs --journal PATH@.";
+      exit 2
+    end;
     (* force the shared builtin-program lazy before any domain spawns *)
     ignore (Lazy.force Nadroid_lang.Builtins.program);
+    (* SIGTERM stops the batch at the next task boundary: files already
+       analyzed still print (and journal), files never started become
+       batch faults, and the exit code reflects the worst class seen *)
+    let stop = Atomic.make false in
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true)));
+    let journal = Option.map (fun p -> Journal.open_ ~path:p ~resume) journal_path in
+    let replayed =
+      match journal with
+      | Some (_, records) -> Journal.latest records
+      | None -> Hashtbl.create 0
+    in
+    let spool =
+      if supervise then Some (Supervise.create ~jobs ?heartbeat ()) else None
+    in
+    let reused = Atomic.make 0 in
     (* crash-isolated: a bad file yields its own fault report while the
        remaining files are still analyzed; exit with the worst class.
-       Both paths produce a cache entry — the entry holds exactly what
+       All paths produce a cache entry — the entry holds exactly what
        this command prints (counts, rendered report, metrics), which is
-       what keeps cached and uncached output byte-identical. *)
+       what keeps cached, uncached, supervised and journal-resumed
+       output byte-identical. *)
+    let analyze_one path =
+      if Atomic.get stop then raise (Fault.Fault (Fault.Budget Fault.P_batch));
+      let src = read_file path in
+      let key = Cache.key ~config src in
+      match Hashtbl.find_opt replayed path with
+      | Some r when String.equal r.Journal.j_key key -> (
+          ignore (Atomic.fetch_and_add reused 1);
+          match r.Journal.j_result with
+          | Ok e -> (e, Cache.Hit)
+          | Error f -> raise (Fault.Fault f))
+      | _ ->
+          let result =
+            match spool with
+            | Some sp ->
+                Result.map
+                  (fun e -> (e, Cache.Miss))
+                  (Supervise.analyze sp ~config
+                     ?cache:
+                       (if use_cache then Some (cache_dir, cache_max_bytes)
+                        else None)
+                     ~file:path src)
+            | None ->
+                Fault.wrap (fun () ->
+                    if use_cache then
+                      Cache.analyze ~config ?max_bytes:cache_max_bytes
+                        ~dir:cache_dir ~file:path src
+                    else
+                      ( Cache.entry_of_result (Pipeline.analyze ~config ~file:path src),
+                        Cache.Miss ))
+          in
+          (match journal with
+          | Some (j, _) -> (
+              (* losing a journal record costs resume coverage, never
+                 the batch: surface it and continue *)
+              try
+                Journal.append j
+                  { Journal.j_name = path; j_key = key; j_result = Result.map fst result }
+              with e -> Fmt.epr "journal: %s: %a@." path Fault.pp (Fault.of_exn e))
+          | None -> ());
+          (match result with
+          | Ok entry_outcome -> entry_outcome
+          | Error f -> raise (Fault.Fault f))
+    in
     let results =
       List.map2
         (fun path r -> (path, Result.map_error Fault.of_exn r))
         files
-        (Nadroid_core.Parallel.map_result ~jobs
-           (fun path ->
-             let src = read_file path in
-             if use_cache then
-               Cache.analyze ~config ?max_bytes:cache_max_bytes ~dir:cache_dir ~file:path src
-             else
-               (Cache.entry_of_result (Pipeline.analyze ~config ~file:path src), Cache.Miss))
-           files)
+        (Nadroid_core.Parallel.map_result ~jobs analyze_one files)
     in
+    Option.iter Supervise.shutdown spool;
+    (match journal with Some (j, _) -> Journal.close j | None -> ());
+    if resume then
+      Fmt.epr "resume: %d of %d file(s) replayed from the journal@."
+        (Atomic.get reused) (List.length files);
     List.iter
       (fun (path, r) ->
         match r with Ok (_, outcome) -> warn_cache_outcome path outcome | Error _ -> ())
@@ -235,7 +336,8 @@ let analyze_cmd =
     Term.(
       const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg $ json_arg
       $ budget_pta_arg $ budget_tuples_arg $ deadline_arg $ budget_explorer_arg $ cache_arg
-      $ no_cache_arg $ cache_dir_arg $ cache_max_bytes_arg)
+      $ no_cache_arg $ cache_dir_arg $ cache_max_bytes_arg $ supervise_arg $ heartbeat_arg
+      $ journal_arg $ resume_arg)
 
 (* -- serve / request: the analysis daemon and its client ----------------- *)
 
@@ -296,7 +398,24 @@ let serve_cmd =
             "deadline applied to requests that carry none (default: unbounded); a request's \
              own deadline always wins")
   in
-  let run listen jobs quiet default_deadline cache_dir cache_max_bytes =
+  let supervise_arg =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "run each analysis in a supervised child process: a request that segfaults, is \
+             OOM-killed or wedges costs only its own response while the daemon keeps serving")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "heartbeat" ] ~docv:"SECS"
+          ~doc:
+            "with --supervise: max seconds one request may stay unanswered before its worker \
+             is declared wedged and replaced (default: unbounded)")
+  in
+  let run listen jobs quiet default_deadline cache_dir cache_max_bytes supervise heartbeat =
     let config =
       {
         Server.default_config with
@@ -305,6 +424,8 @@ let serve_cmd =
         cache_max_bytes;
         default_deadline;
         quiet;
+        supervise;
+        heartbeat;
       }
     in
     with_fault (fun () -> Server.run ~config listen)
@@ -318,7 +439,7 @@ let serve_cmd =
           a $(b,shutdown) request, SIGTERM or SIGINT drains in-flight work and exits 0")
     Term.(
       const run $ listen_term $ jobs_arg $ quiet_arg $ default_deadline_arg $ cache_dir_arg
-      $ cache_max_bytes_arg)
+      $ cache_max_bytes_arg $ supervise_arg $ heartbeat_arg)
 
 let request_cmd =
   let module Protocol = Nadroid_serve.Protocol in
@@ -332,13 +453,28 @@ let request_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"ask the daemon to drain and exit (after any FILEs)")
   in
-  let run listen files ping shutdown k sound_only budget_pta budget_tuples deadline
-      budget_explorer cache no_cache =
+  let connect_timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "connect-timeout" ] ~docv:"SECS"
+          ~doc:
+            "give up connecting after $(docv) seconds of exponential-backoff retries \
+             (default 10) — a daemon that never starts fails the request instead of \
+             spinning forever")
+  in
+  let run listen files ping shutdown connect_timeout k sound_only budget_pta budget_tuples
+      deadline budget_explorer cache no_cache =
     if files = [] && not (ping || shutdown) then begin
       Fmt.epr "nothing to do: give FILEs, --ping or --shutdown@.";
       exit 2
     end;
-    let c = Client.connect listen in
+    let c =
+      try Client.connect ~timeout:connect_timeout listen
+      with Unix.Unix_error (e, _, _) ->
+        Fmt.epr "cannot connect to the daemon within %gs: %s@." connect_timeout
+          (Unix.error_message e);
+        exit 4
+    in
     let worst = ref 0 in
     let round line =
       let response = Client.request c line in
@@ -373,9 +509,9 @@ let request_cmd =
          "send requests to a running $(b,nadroid serve) daemon and print the response lines; \
           exits with the worst fault code of the batch, like $(b,analyze)")
     Term.(
-      const run $ listen_term $ files_arg $ ping_arg $ shutdown_arg $ k_arg $ sound_only_arg
-      $ budget_pta_arg $ budget_tuples_arg $ deadline_arg $ budget_explorer_arg $ cache_arg
-      $ no_cache_arg)
+      const run $ listen_term $ files_arg $ ping_arg $ shutdown_arg $ connect_timeout_arg
+      $ k_arg $ sound_only_arg $ budget_pta_arg $ budget_tuples_arg $ deadline_arg
+      $ budget_explorer_arg $ cache_arg $ no_cache_arg)
 
 let validate_cmd =
   let runs_arg =
@@ -668,6 +804,42 @@ let synth_cmd =
           deadline-pathology app with --adversarial")
     Term.(const run $ seed_arg $ size_arg $ adversarial_arg)
 
+let faultfuzz_cmd =
+  let module Faultfuzz = Nadroid_corpus.Faultfuzz in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"injection seed (trial i uses N+i)")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "trials" ] ~docv:"N"
+          ~doc:"fuzz trials, alternating in-process and supervised (default 10)")
+  in
+  let apps_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "apps" ] ~docv:"N" ~doc:"corpus apps per trial (default 8)")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"batch parallelism per trial (default 2)")
+  in
+  let run seed trials apps jobs =
+    let summary = with_fault (fun () -> Faultfuzz.run ?jobs ~apps ~seed ~trials ()) in
+    Fmt.pr "%a@?" Faultfuzz.pp_summary summary;
+    if summary.Faultfuzz.fz_escapes <> [] then exit 4
+  in
+  Cmd.v
+    (Cmd.info "faultfuzz"
+       ~doc:
+         "blast-radius fuzzing: seed deterministic faults into the cache/journal/worker \
+          seams while analyzing corpus batches, and fail (exit 4) if any fault escapes its \
+          app — every entry must be byte-identical to a clean run or a structured fault \
+          attributable to the injection")
+    Term.(const run $ seed_arg $ trials_arg $ apps_arg $ jobs_arg)
+
 let corpus_cmd =
   let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
   let run name =
@@ -692,6 +864,14 @@ let corpus_cmd =
     Term.(const run $ name_arg)
 
 let () =
+  (* a supervised worker child serves framed requests on stdin/stdout
+     and never reaches the CLI — this must run before Cmd.eval *)
+  Nadroid_core.Supervise.worker_check ();
+  (match Nadroid_core.Faultinject.init_from_env () with
+  | Ok () -> ()
+  | Error e ->
+      Fmt.epr "bad %s: %s@." Nadroid_core.Faultinject.env_var e;
+      exit 2);
   let info = Cmd.info "nadroid" ~doc:"static ordering-violation detector for MiniAndroid apps" in
   exit
     (Cmd.eval
@@ -711,5 +891,6 @@ let () =
             difftest_cmd;
             golden_cmd;
             synth_cmd;
+            faultfuzz_cmd;
             corpus_cmd;
           ]))

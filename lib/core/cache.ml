@@ -67,12 +67,14 @@ let find ~dir (k : string) : entry option * outcome =
   if not (Sys.file_exists p) then (None, Miss)
   else
     match
+      Faultinject.trip Faultinject.Cache_read;
       let ic = open_in_bin p in
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     with
-    | exception _ -> (None, corrupt ("unreadable entry " ^ p))
+    | exception e ->
+        (None, corrupt (Printf.sprintf "unreadable entry %s (%s)" p (Printexc.to_string e)))
     | raw -> (
         match String.index_opt raw '\n' with
         | None -> (None, corrupt ("truncated entry " ^ p))
@@ -107,6 +109,7 @@ let rec mkdir_p d =
 let store_seq = Atomic.make 0
 
 let store ~dir (k : string) (e : entry) : unit =
+  Faultinject.trip Faultinject.Cache_write;
   mkdir_p dir;
   let payload = Marshal.to_string e [] in
   let header =
@@ -122,7 +125,61 @@ let store ~dir (k : string) (e : entry) : unit =
     (fun () ->
       output_string oc header;
       output_string oc payload);
+  (match Faultinject.trip Faultinject.Cache_rename with
+  | () -> ()
+  | exception e ->
+      (* a failed publish must not leak the temp file on top of the
+         injected error — real rename failures are swept by sweep_tmp *)
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
   Sys.rename tmp (path ~dir k)
+
+(* -- orphaned temp files --------------------------------------------------- *)
+
+(* A crash (or SIGKILL) between the temp write and the rename strands a
+   [.tmp.*] file: it is not addressable, [stat_entries] skips it, so
+   [--cache-max-bytes] accounting never sees it and it leaks forever.
+   Sweep such orphans when they are old enough that no live store can
+   still own them — stores are sub-second, so minutes of age means a
+   dead writer. Concurrent sweepers racing over the same orphan are
+   harmless (removal tolerates ENOENT). *)
+let sweep_tmp ?(max_age = 600.0) ~dir () : int =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      let now = Unix.time () in
+      let removed = ref 0 in
+      Array.iter
+        (fun name ->
+          if String.starts_with ~prefix:".tmp." name then
+            let p = Filename.concat dir name in
+            match Unix.stat p with
+            | { Unix.st_kind = Unix.S_REG; st_mtime; _ }
+              when now -. st_mtime > max_age -> (
+                try
+                  Sys.remove p;
+                  incr removed
+                with Sys_error _ -> ())
+            | _ | (exception Unix.Unix_error _) -> ())
+        names;
+      !removed
+
+(* Sweep each directory once per process, the first time the cached
+   front door opens it — "on cache open" without a stat storm on every
+   analyze. *)
+let swept : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let swept_m = Mutex.create ()
+
+let sweep_on_open ~dir =
+  let fresh =
+    Mutex.lock swept_m;
+    let fresh = not (Hashtbl.mem swept dir) in
+    if fresh then Hashtbl.replace swept dir ();
+    Mutex.unlock swept_m;
+    fresh
+  in
+  if fresh then ignore (sweep_tmp ~dir ())
 
 (* -- size cap / LRU eviction --------------------------------------------- *)
 
@@ -192,13 +249,21 @@ let entry_of_result (t : Pipeline.t) : entry =
    the last candidate to go. *)
 let analyze ?config ?max_bytes ~dir ~file (src : string) : entry * outcome =
   let config = Option.value config ~default:Pipeline.default_config in
+  sweep_on_open ~dir;
   let k = key ~config src in
   match find ~dir k with
   | Some e, Hit -> (e, Hit)
   | _, ((Miss | Corrupt _) as outcome) ->
       let t = Pipeline.analyze ~config ~file src in
       let e = entry_of_result t in
-      store ~dir k e;
-      (match max_bytes with Some mb -> ignore (evict ~dir ~max_bytes:mb) | None -> ());
+      (* persistence is best-effort: a failed store (disk full, injected
+         I/O fault) costs the next run a recompute, never this run its
+         already-computed result *)
+      (try
+         store ~dir k e;
+         match max_bytes with
+         | Some mb -> ignore (evict ~dir ~max_bytes:mb)
+         | None -> ()
+       with Sys_error _ | Unix.Unix_error _ -> ());
       (e, outcome)
   | None, Hit -> assert false

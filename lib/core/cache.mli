@@ -48,6 +48,14 @@ val store : dir:string -> string -> entry -> unit
     since domains share one — so concurrent stores of the same key never
     interleave into one temp file. *)
 
+val sweep_tmp : ?max_age:float -> dir:string -> unit -> int
+(** Remove orphaned [.tmp.*] files older than [max_age] seconds
+    (default 600) — strandings left by a writer that died between the
+    temp write and the rename. They are invisible to [*.cache]
+    accounting, so nothing else ever reclaims them. Runs automatically
+    the first time {!analyze} opens a directory in this process.
+    Returns the number of files removed. *)
+
 val dir_bytes : dir:string -> int
 (** Combined size of the [*.cache] entries in [dir] (foreign files are
     not counted). *)

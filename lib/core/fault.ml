@@ -17,7 +17,7 @@
 
 open Nadroid_lang
 
-type phase = P_pta | P_modeling | P_detect | P_filters | P_explorer
+type phase = P_pta | P_modeling | P_detect | P_filters | P_explorer | P_batch
 
 type t =
   | Frontend of Diag.t
@@ -32,6 +32,7 @@ let phase_to_string = function
   | P_detect -> "detect"
   | P_filters -> "filters"
   | P_explorer -> "explorer"
+  | P_batch -> "batch"
 
 let class_to_string = function
   | Frontend _ -> "frontend"

@@ -9,7 +9,10 @@
 
 open Nadroid_lang
 
-type phase = P_pta | P_modeling | P_detect | P_filters | P_explorer
+type phase = P_pta | P_modeling | P_detect | P_filters | P_explorer | P_batch
+(** [P_batch] marks work the batch driver itself gave up on — e.g. apps
+    never started because SIGTERM stopped the run — rather than a phase
+    inside one app's analysis. *)
 
 type t =
   | Frontend of Diag.t  (** lexing / parsing / typing diagnostic *)

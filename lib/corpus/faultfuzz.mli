@@ -1,0 +1,32 @@
+(** Blast-radius fuzzing: prove injected faults stay contained.
+
+    Seeded trials arm {!Nadroid_core.Faultinject} over the cache/journal
+    seams (in-process trials, cold + warm pass) or the worker
+    spawn/pipe seams (supervised trials) and run a corpus batch through
+    the crash-survival stack. Every app must end either byte-identical
+    to a clean baseline or as a structured fault attributable to the
+    injection; anything else is a blast-radius escape. [nadroid
+    faultfuzz] exits 4 on any escape — the CI gate. *)
+
+type escape = {
+  x_trial : int;
+  x_mode : string;  (** ["inproc"] or ["supervised"] *)
+  x_app : string;
+  x_what : string;
+}
+
+type summary = {
+  fz_trials : int;
+  fz_fires : int;  (** injected faults that actually fired *)
+  fz_faulted : int;  (** app entries that became structured faults *)
+  fz_clean : int;  (** app entries byte-identical to the baseline *)
+  fz_escapes : escape list;
+}
+
+val run : ?jobs:int -> ?apps:int -> seed:int -> trials:int -> unit -> summary
+(** [run ~seed ~trials ()] fuzzes [trials] trials (alternating
+    in-process and supervised) over the first [apps] corpus apps
+    (default 8) with [jobs]-way parallelism (default 2). Deterministic
+    for a given seed up to scheduling of the batch itself. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -14,24 +14,42 @@ let addr_of = function
       in
       (Unix.PF_INET, Unix.ADDR_INET (ip, port))
 
-let connect ?(retries = 40) listen =
+(* Jitter source for connect backoff: self-seeded so simultaneous
+   clients (bench fan-out) desynchronize instead of hammering the
+   daemon's accept queue in lockstep. *)
+let jitter_state = lazy (Random.State.make_self_init ())
+
+(* Connect with a hard deadline instead of a retry count: a daemon that
+   never starts makes the old fixed-retry loop spin 2 seconds, and
+   anything polling in a script loop spin forever. Retries back off
+   exponentially (20ms doubling to 1s, ±25% jitter) while the daemon may
+   still be binding its socket; once [timeout] elapses the last
+   connection error propagates to the caller. [timeout <= 0] means
+   exactly one attempt. *)
+let connect ?(timeout = 10.0) listen =
   let domain, addr = addr_of listen in
-  let rec attempt left =
+  let deadline = Nadroid_clock.Clock.now () +. timeout in
+  let rec attempt delay =
     let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
     | () -> { fd; residue = "" }
-    | exception
-        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when left > 0
+    | exception (Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) as e)
       ->
         Unix.close fd;
-        (* the daemon may still be binding its socket *)
-        Unix.sleepf 0.05;
-        attempt (left - 1)
+        let left = deadline -. Nadroid_clock.Clock.now () in
+        if left <= 0.0 then raise e
+        else begin
+          let jitter =
+            delay *. 0.25 *. (Random.State.float (Lazy.force jitter_state) 2.0 -. 1.0)
+          in
+          Unix.sleepf (Float.min (Float.max 0.001 (delay +. jitter)) left);
+          attempt (Float.min (delay *. 2.0) 1.0)
+        end
     | exception e ->
         Unix.close fd;
         raise e
   in
-  attempt retries
+  attempt 0.02
 
 let write_all fd bytes =
   let len = Bytes.length bytes in

@@ -4,10 +4,12 @@
 
 type t
 
-val connect : ?retries:int -> Server.listen -> t
-(** Connect, retrying [retries] times (default 40, 50ms apart) while the
-    daemon is still booting ([ENOENT]/[ECONNREFUSED]).
-    @raise Unix.Unix_error when the last retry fails. *)
+val connect : ?timeout:float -> Server.listen -> t
+(** Connect, retrying with exponential backoff + jitter (20ms doubling
+    to 1s) while the daemon is still booting ([ENOENT]/[ECONNREFUSED]),
+    for at most [timeout] seconds (default 10; [<= 0] means exactly one
+    attempt).
+    @raise Unix.Unix_error when the deadline expires unconnected. *)
 
 val request : t -> string -> string
 (** Send one request line (newline appended) and block for the response

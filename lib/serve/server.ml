@@ -18,6 +18,8 @@ module Filters = Nadroid_core.Filters
 module Fault = Nadroid_core.Fault
 module Cache = Nadroid_core.Cache
 module Parallel = Nadroid_core.Parallel
+module Supervise = Nadroid_core.Supervise
+module Faultinject = Nadroid_core.Faultinject
 
 type listen = [ `Unix of string | `Tcp of string * int ]
 
@@ -28,6 +30,8 @@ type config = {
   default_deadline : float option;
   quiet : bool;
   install_signals : bool;
+  supervise : bool;
+  heartbeat : float option;
 }
 
 let default_config =
@@ -38,6 +42,8 @@ let default_config =
     default_deadline = None;
     quiet = false;
     install_signals = true;
+    supervise = false;
+    heartbeat = None;
   }
 
 (* stderr log, timestamped with the wall clock — the one place wall time
@@ -85,8 +91,11 @@ let analyze_config cfg (a : Protocol.analyze) =
 (* Runs on a pool worker. Everything that can go wrong folds into the
    response: a fault document for analysis failures, a protocol error
    for an unreadable path. The worker itself never dies — the next
-   request finds it clean. *)
-let run_analyze cfg (a : Protocol.analyze) =
+   request finds it clean. With [spool] (the [supervise] config), the
+   actual analysis runs in a supervised child process instead of this
+   domain, so even a SIGSEGV/OOM of one request costs only its own
+   response while the daemon keeps serving. *)
+let run_analyze cfg spool (a : Protocol.analyze) =
   let name, src =
     match (a.Protocol.a_path, a.Protocol.a_source) with
     | Some p, _ -> (p, `Read p)
@@ -104,12 +113,21 @@ let run_analyze cfg (a : Protocol.analyze) =
       let config = analyze_config cfg a in
       let use_cache = Option.value ~default:false a.Protocol.a_cache in
       let result =
-        Fault.wrap (fun () ->
-            if use_cache then
-              fst
-                (Cache.analyze ~config ?max_bytes:cfg.cache_max_bytes
-                   ~dir:cfg.cache_dir ~file:name src)
-            else Cache.entry_of_result (Pipeline.analyze ~config ~file:name src))
+        match spool with
+        | Some sp ->
+            Supervise.analyze sp ~config
+              ?cache:
+                (if use_cache then Some (cfg.cache_dir, cfg.cache_max_bytes)
+                 else None)
+              ~file:name src
+        | None ->
+            Fault.wrap (fun () ->
+                if use_cache then
+                  fst
+                    (Cache.analyze ~config ?max_bytes:cfg.cache_max_bytes
+                       ~dir:cfg.cache_dir ~file:name src)
+                else
+                  Cache.entry_of_result (Pipeline.analyze ~config ~file:name src))
       in
       Protocol.analyze_response ~name result
 
@@ -128,6 +146,7 @@ type conn = {
 type t = {
   cfg : config;
   pool : Parallel.Pool.t;
+  spool : Supervise.t option;  (** supervised worker processes *)
   listen_fd : Unix.file_descr;
   sock_path : string option;  (** unix-socket file to unlink on exit *)
   wake_r : Unix.file_descr;
@@ -179,7 +198,10 @@ let handle_read t (c : conn) =
 let handle_write t (c : conn) =
   let len = Bytes.length c.outbuf - c.outpos in
   if len > 0 then begin
-    match Unix.write c.fd c.outbuf c.outpos len with
+    match
+      Faultinject.trip Faultinject.Server_send;
+      Unix.write c.fd c.outbuf c.outpos len
+    with
     | n -> c.outpos <- c.outpos + n (* partial writes resume next round *)
     | exception
         Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
@@ -235,7 +257,7 @@ let dispatch t (c : conn) line =
         (Parallel.Pool.submit t.pool (fun () ->
              let response =
                (* a worker must survive anything a request throws at it *)
-               try run_analyze t.cfg a
+               try run_analyze t.cfg t.spool a
                with e ->
                  Protocol.analyze_response
                    ~name:(Option.value ~default:"<inline>"
@@ -288,7 +310,10 @@ let drain_wake_pipe t =
 
 let accept_all t =
   let rec loop () =
-    match Unix.accept ~cloexec:true t.listen_fd with
+    match
+      Faultinject.trip Faultinject.Server_accept;
+      Unix.accept ~cloexec:true t.listen_fd
+    with
     | fd, _ ->
         Unix.set_nonblock fd;
         let id = t.next_id in
@@ -309,6 +334,11 @@ let accept_all t =
       ->
       ()
     | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
+    | exception Unix.Unix_error (e, _, _) ->
+        (* transient accept failure (EMFILE, injected EIO, ...): the
+           listener survives it; pending connections stay in the kernel
+           backlog and the next loop round retries *)
+        log t.cfg "accept failed: %s" (Unix.error_message e)
   in
   loop ()
 
@@ -363,10 +393,19 @@ let run ?(config = default_config) listen =
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  (* supervised worker processes spawn before the domain pool exists:
+     fewer inherited threads, and the exec discipline keeps later
+     respawns safe from any domain *)
+  let spool =
+    if config.supervise then
+      Some (Supervise.create ?jobs:config.jobs ?heartbeat:config.heartbeat ())
+    else None
+  in
   let t =
     {
       cfg = config;
       pool = Parallel.Pool.create ?jobs:config.jobs ();
+      spool;
       listen_fd;
       sock_path;
       wake_r;
@@ -453,6 +492,7 @@ let run ?(config = default_config) listen =
   done;
   log config "drained, shutting down workers";
   Parallel.Pool.shutdown t.pool;
+  Option.iter Supervise.shutdown t.spool;
   if !listening then (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());

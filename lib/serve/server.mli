@@ -29,6 +29,14 @@ type config = {
   install_signals : bool;
       (** install [SIGTERM]/[SIGINT] handlers that trigger the graceful
           drain; disable when embedding the server in a test process *)
+  supervise : bool;
+      (** run each analysis in a supervised child process
+          ({!Nadroid_core.Supervise}): a request that segfaults, is
+          OOM-killed or wedges costs only its own response — the worker
+          is respawned and the daemon keeps serving *)
+  heartbeat : float option;
+      (** with [supervise]: max seconds one request may stay unanswered
+          before its worker is declared wedged and replaced *)
 }
 
 val default_config : config

@@ -152,4 +152,87 @@ for key in '"rps"' '"p50"' '"p99"' '"mismatches":0' '"daemon_exit":0'; do
   esac
 done
 
+# 14. Crash-survival gate: (a) a batch SIGKILLed mid-run leaves a
+#     journal whose --resume rerun exits 0 with output byte-identical
+#     to an uninterrupted run; (b) an app that kills its supervised
+#     worker costs exactly one quarantine fault while the rest of the
+#     batch still analyzes; (c) a supervised daemon keeps serving
+#     byte-identically after a request crashes its worker.
+crash_dir="_nadroid_cache/ci-crash.$$"
+mkdir -p "$crash_dir"
+for app in ToDoList Zxing Music; do
+  ./_build/default/bin/nadroid.exe corpus "$app" > "$crash_dir/$app.mand"
+done
+crash_files="$crash_dir/ToDoList.mand $crash_dir/Zxing.mand $crash_dir/Music.mand"
+crash_golden=$(./_build/default/bin/nadroid.exe analyze --json --jobs 1 $crash_files)
+rc=0
+NADROID_FAULTS="journal_append:2:kill" \
+  ./_build/default/bin/nadroid.exe analyze --json --jobs 1 \
+  --journal "$crash_dir/journal" $crash_files > /dev/null 2>&1 || rc=$?
+if [ "$rc" -lt 128 ]; then
+  echo "ci: injected SIGKILL did not kill the batch (rc=$rc)" >&2
+  exit 1
+fi
+resumed=$(./_build/default/bin/nadroid.exe analyze --json --jobs 1 \
+  --journal "$crash_dir/journal" --resume $crash_files)
+if [ "$resumed" != "$crash_golden" ]; then
+  echo "ci: resumed batch is not byte-identical to the uninterrupted run" >&2
+  exit 1
+fi
+rc=0
+sup=$(NADROID_FAULTS="worker_task=Zxing.mand:kill" \
+  ./_build/default/bin/nadroid.exe analyze --json --supervise --jobs 1 \
+  $crash_files 2>/dev/null) || rc=$?
+if [ "$rc" -ne 4 ]; then
+  echo "ci: supervised batch with a crashing app should exit 4, got $rc" >&2
+  exit 1
+fi
+case $sup in
+*quarantined*) ;;
+*)
+  echo "ci: supervised batch output does not name the quarantine" >&2
+  exit 1
+  ;;
+esac
+if [ "$(printf '%s' "$sup" | grep -o '"fault":' | wc -l)" -ne 1 ]; then
+  echo "ci: the crashing app must cost exactly one fault entry" >&2
+  exit 1
+fi
+crash_sock="/tmp/nadroid-ci-crash.$$.sock"
+rm -f "$crash_sock"
+NADROID_FAULTS="worker_task=Zxing.mand:kill" \
+  ./_build/default/bin/nadroid.exe serve --socket "$crash_sock" --quiet \
+  --supervise --jobs 1 &
+crash_pid=$!
+rc=0
+./_build/default/bin/nadroid.exe request --socket "$crash_sock" \
+  "$crash_dir/Zxing.mand" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 4 ]; then
+  echo "ci: crashing request should answer a fault (exit 4), got $rc" >&2
+  kill "$crash_pid" 2>/dev/null || true
+  exit 1
+fi
+cold_todo=$(./_build/default/bin/nadroid.exe analyze --json "$crash_dir/ToDoList.mand")
+after=$(./_build/default/bin/nadroid.exe request --socket "$crash_sock" \
+  "$crash_dir/ToDoList.mand")
+if [ "$after" != "$cold_todo" ]; then
+  echo "ci: daemon lost byte-identity after a worker crash" >&2
+  kill "$crash_pid" 2>/dev/null || true
+  exit 1
+fi
+./_build/default/bin/nadroid.exe request --socket "$crash_sock" --shutdown \
+  > /dev/null
+if ! wait "$crash_pid"; then
+  echo "ci: supervised daemon did not exit 0 after a worker crash" >&2
+  exit 1
+fi
+rm -rf "$crash_dir" "$crash_sock"
+
+# 15. Blast-radius matrix: seeded fault injection across the cache,
+#     journal and worker seams; every app outcome must be baseline-
+#     identical or an attributable structured fault — any escape
+#     exits 4.
+dune exec --no-print-directory bin/nadroid.exe -- faultfuzz \
+  --seed 42 --trials 8 --apps 6 --jobs 2
+
 echo "ci: ok"

@@ -102,7 +102,7 @@ let with_daemon ?(jobs = 2) name f =
   Fun.protect
     ~finally:(fun () ->
       (try
-         let c = Client.connect ~retries:0 (`Unix sock) in
+         let c = Client.connect ~timeout:0.0 (`Unix sock) in
          ignore (Client.request c Protocol.shutdown_request);
          Client.close c
        with _ -> () (* the test already shut it down *));
