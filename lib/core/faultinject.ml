@@ -227,6 +227,10 @@ let parse_spec spec =
             | _ -> None
           in
           match lhs with
+          | ("seed" | "rate" | "sites") when action <> None ->
+              (* silently dropping the suffix would arm a different
+                 fault than the spec's author wrote *)
+              fail "%s= takes no ':action' suffix (in %S)" lhs entry
           | "seed" -> (
               match int_of_string_opt rhs with
               | Some s -> seed := Some s

@@ -57,17 +57,41 @@ let parse_header line =
       Option.map (fun n -> (digest, n)) (int_of_string_opt len)
   | _ -> None
 
-let write_all fd s =
+exception Timeout
+
+(* Write all of [s] to [fd], honouring [deadline] (absolute monotonic
+   time). With a deadline the fd must be non-blocking: every chunk is
+   gated by a deadline-bounded select, so a worker that wedges and stops
+   draining its request pipe mid-frame — requests embed the full source,
+   easily past pipe capacity — surfaces as [Timeout] instead of blocking
+   the supervisor domain forever. *)
+let write_all ?deadline fd s =
   let n = String.length s in
   let b = Bytes.unsafe_of_string s in
+  let rec wait () =
+    let left =
+      match deadline with
+      | None -> -1.0
+      | Some d ->
+          let left = d -. Nadroid_clock.Clock.now () in
+          if left <= 0.0 then raise Timeout;
+          left
+    in
+    match Unix.select [] [ fd ] [] left with
+    | _, [], _ -> raise Timeout
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
   let rec go off =
     if off < n then
-      let w = Unix.write fd b off (n - off) in
-      go (off + w)
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          wait ();
+          go off
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
-
-exception Timeout
 
 (* Read exactly [n] more bytes into [buf], honouring [deadline] (absolute
    monotonic time) via select before every read. Returns false on EOF. *)
@@ -246,6 +270,9 @@ let spawn_one () : worker =
   | pid ->
       Unix.close req_r;
       Unix.close resp_w;
+      (* non-blocking on our write end only (the child's stdin copy is
+         unaffected), so [write_all] can bound it with the heartbeat *)
+      Unix.set_nonblock req_w;
       { pid; w_in = req_w; w_out = resp_r }
   | exception e ->
       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -343,14 +370,16 @@ let replace t w : string =
 
 (* One attempt on one checked-out worker. [Ok payload] is a fully framed
    reply; [Error reason] means the worker is unusable (dead, wedged,
-   garbled) and must be replaced. *)
+   garbled) and must be replaced. One heartbeat deadline bounds the
+   whole exchange — writing the request as much as reading the reply,
+   since a wedged worker can stop consuming either pipe. *)
 let attempt t w payload : (string, string) result =
+  let deadline =
+    Option.map (fun h -> Nadroid_clock.Clock.now () +. h) t.heartbeat
+  in
   match
-    write_all w.w_in (frame payload);
+    write_all ?deadline w.w_in (frame payload);
     Faultinject.trip Faultinject.Worker_pipe_read;
-    let deadline =
-      Option.map (fun h -> Nadroid_clock.Clock.now () +. h) t.heartbeat
-    in
     read_frame ?deadline w.w_out
   with
   | Some reply -> Ok reply

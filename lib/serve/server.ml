@@ -136,7 +136,8 @@ let run_analyze cfg spool (a : Protocol.analyze) =
 type conn = {
   fd : Unix.file_descr;
   id : int;
-  mutable inbuf : string;  (** raw bytes read, possibly mid-line *)
+  inbuf : Buffer.t;  (** raw bytes read, possibly mid-line *)
+  mutable in_lines : int;  (** complete ('\n'-terminated) lines in [inbuf] *)
   mutable outbuf : Bytes.t;  (** response bytes not yet written *)
   mutable outpos : int;
   mutable busy : bool;  (** a request of this connection is on the pool *)
@@ -189,7 +190,13 @@ let handle_read t (c : conn) =
       (* EOF: the client is gone. If an analysis is still running its
          completion is dropped on arrival; the worker is unaffected. *)
       close_conn t c
-  | n -> c.inbuf <- c.inbuf ^ Bytes.sub_string buf 0 n
+  | n ->
+      (* count lines as bytes arrive so the no-request-pending check in
+         [advance] is O(1) per loop round, not a rescan of the buffer *)
+      for i = 0 to n - 1 do
+        if Bytes.unsafe_get buf i = '\n' then c.in_lines <- c.in_lines + 1
+      done;
+      Buffer.add_subbytes c.inbuf buf 0 n
   | exception
       Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
     ()
@@ -225,12 +232,22 @@ let send_line (c : conn) line =
 (* -- request dispatch ----------------------------------------------------- *)
 
 let pop_line (c : conn) =
-  match String.index_opt c.inbuf '\n' with
-  | None -> None
-  | Some i ->
-      let line = String.sub c.inbuf 0 i in
-      c.inbuf <- String.sub c.inbuf (i + 1) (String.length c.inbuf - i - 1);
-      Some line
+  if c.in_lines = 0 then None
+  else begin
+    let i = ref 0 in
+    while Buffer.nth c.inbuf !i <> '\n' do incr i done;
+    let line = Buffer.sub c.inbuf 0 !i in
+    let rest = Buffer.sub c.inbuf (!i + 1) (Buffer.length c.inbuf - !i - 1) in
+    (* [reset] when drained so a one-off multi-megabyte inline request
+       does not pin its capacity for the connection's lifetime *)
+    if String.length rest = 0 then Buffer.reset c.inbuf
+    else begin
+      Buffer.clear c.inbuf;
+      Buffer.add_string c.inbuf rest
+    end;
+    c.in_lines <- c.in_lines - 1;
+    Some line
+  end
 
 let dispatch t (c : conn) line =
   match Protocol.parse_request line with
@@ -322,7 +339,8 @@ let accept_all t =
           {
             fd;
             id;
-            inbuf = "";
+            inbuf = Buffer.create 256;
+            in_lines = 0;
             outbuf = Bytes.empty;
             outpos = 0;
             busy = false;
@@ -481,12 +499,28 @@ let run ?(config = default_config) listen =
             conns;
           List.iter
             (fun (c : conn) ->
-              if Hashtbl.mem t.conns c.id then begin
-                advance t c;
-                (* opportunistic flush: short responses usually fit the
-                   socket buffer, saving a select round-trip *)
-                if Bytes.length c.outbuf > c.outpos then handle_write t c
-              end)
+              (* advance, then opportunistically flush (short responses
+                 usually fit the socket buffer, saving a select
+                 round-trip) — and if that flush drained the response
+                 with more pipelined lines buffered, go again: no fd
+                 event will ever fire for bytes already in [inbuf], so
+                 stopping here would stall the connection forever.
+                 Terminates because each iteration past the first
+                 consumes a buffered line. *)
+              let rec pump () =
+                if Hashtbl.mem t.conns c.id then begin
+                  advance t c;
+                  if Bytes.length c.outbuf > c.outpos then begin
+                    handle_write t c;
+                    if
+                      Hashtbl.mem t.conns c.id
+                      && Bytes.length c.outbuf = 0
+                      && c.in_lines > 0
+                    then pump ()
+                  end
+                end
+              in
+              pump ())
             conns
     end
   done;

@@ -292,7 +292,19 @@ let bad_specs_are_rejected () =
       | Ok () ->
           Faultinject.disarm ();
           Alcotest.failf "%S must be rejected" spec)
-    [ "bogus:1"; "cache_read:0"; "cache_read:x"; "rate=x"; "sites=bogus"; "cache_read:1:explode" ];
+    [
+      "bogus:1";
+      "cache_read:0";
+      "cache_read:x";
+      "rate=x";
+      "sites=bogus";
+      "cache_read:1:explode";
+      (* an action suffix on a config entry would silently arm the
+         default raise action instead of the one written *)
+      "rate=0.5:kill";
+      "seed=7:abort";
+      "sites=cache_read:wedge";
+    ];
   arm "";
   Alcotest.(check bool) "empty spec disarms" false (Faultinject.armed ())
 

@@ -214,6 +214,95 @@ let disconnect_mid_request_is_isolated () =
         (Client.request c (inline_request ~name:small.Corpus.name small.Corpus.source));
       Client.close c)
 
+(* Pipelined requests: a client that writes several request lines in one
+   burst and then goes quiet must still get every response. Once the
+   first response flushes there is no further fd event for the lines
+   already buffered server-side, so the loop itself must keep
+   dispatching them. The burst mixes pings (answered inline) with an
+   analyze (answered via the completion queue) to cover both paths, and
+   reads are select-bounded so a regression fails instead of hanging. *)
+let pipelined_requests_all_answered () =
+  let small = List.hd (Lazy.force Corpus.all) in
+  let expected =
+    [
+      "{\"ok\":true}";
+      cold_response ~name:small.Corpus.name small.Corpus.source;
+      "{\"ok\":true}";
+    ]
+  in
+  with_daemon ~jobs:1 "pipeline" (fun listen ->
+      (* a raw fd (Client is strictly request/response), but with
+         Client.connect's patience: the daemon may still be binding *)
+      let rec connect_retry deadline path =
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> fd
+        | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+          when Unix.gettimeofday () < deadline ->
+            Unix.close fd;
+            Unix.sleepf 0.02;
+            connect_retry deadline path
+        | exception e ->
+            Unix.close fd;
+            raise e
+      in
+      let fd =
+        match listen with
+        | `Unix path -> connect_retry (Unix.gettimeofday () +. 10.0) path
+        | _ -> assert false
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let burst =
+            String.concat "\n"
+              [
+                Protocol.ping_request;
+                inline_request ~name:small.Corpus.name small.Corpus.source;
+                Protocol.ping_request;
+              ]
+            ^ "\n"
+          in
+          let b = Bytes.of_string burst in
+          assert (Unix.write fd b 0 (Bytes.length b) = Bytes.length b);
+          let buf = Buffer.create 256 in
+          let chunk = Bytes.create 8192 in
+          let lines () =
+            List.filter
+              (fun l -> String.length l > 0)
+              (String.split_on_char '\n' (Buffer.contents buf))
+          in
+          let deadline = Unix.gettimeofday () +. 30.0 in
+          let rec read_until () =
+            if List.length (lines ()) < 3 then begin
+              let left = deadline -. Unix.gettimeofday () in
+              let stall () =
+                Alcotest.failf "pipelined responses stalled; got %S"
+                  (Buffer.contents buf)
+              in
+              if left <= 0.0 then stall ();
+              match Unix.select [ fd ] [] [] left with
+              | [], _, _ -> stall ()
+              | _ -> (
+                  match Unix.read fd chunk 0 (Bytes.length chunk) with
+                  | 0 ->
+                      Alcotest.failf "daemon closed after %S"
+                        (Buffer.contents buf)
+                  | n ->
+                      Buffer.add_subbytes buf chunk 0 n;
+                      read_until ()
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                      read_until ())
+            end
+          in
+          read_until ();
+          List.iteri
+            (fun i (want, got) ->
+              Alcotest.(check string)
+                (Printf.sprintf "pipelined response %d" i)
+                want got)
+            (List.combine expected (lines ()))))
+
 (* One malformed line answers with a structured error on the same
    connection, which stays usable. *)
 let bad_request_keeps_connection () =
@@ -261,6 +350,8 @@ let suite =
           deadline_degrades_not_kills;
         Alcotest.test_case "client disconnect is isolated to its connection" `Quick
           disconnect_mid_request_is_isolated;
+        Alcotest.test_case "pipelined burst gets every response" `Quick
+          pipelined_requests_all_answered;
         Alcotest.test_case "malformed line keeps the connection usable" `Quick
           bad_request_keeps_connection;
         Alcotest.test_case "shutdown drains, returns and unlinks the socket" `Quick
