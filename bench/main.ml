@@ -1007,6 +1007,12 @@ let crash ~jobs ~json () =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let jpath = Filename.concat dir "journal" in
   let dfile = Filename.concat dir "digest" in
+  (* every bail below leaves through [exit], which does NOT unwind the
+     stack (no Fun.protect finalizers) — clean the scratch dir from
+     at_exit so failure paths can't leak it into the repo root *)
+  at_exit (fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ jpath; dfile ];
+      try Unix.rmdir dir with Unix.Unix_error _ -> ());
   let expect_exit0 what = function
     | Unix.WEXITED 0 -> ()
     | s ->
@@ -1038,8 +1044,6 @@ let crash ~jobs ~json () =
     Printf.eprintf "crash: resumed batch digest differs from the uninterrupted run\n";
     exit 1
   end;
-  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ jpath; dfile ];
-  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
   let rate t = if t > 0.0 then float_of_int n /. t else 0.0 in
   let ratio a b = if b > 0.0 then a /. b else 0.0 in
   if json then begin
@@ -1114,6 +1118,10 @@ let () =
   and cache_dir = ref Nadroid_core.Cache.default_dir
   and cache_max_bytes = ref None in
   let clients = ref 8 and rounds = ref 5 in
+  let fleet_apps = ref 5000
+  and fleet_adversarial = ref 0.02
+  and fleet_seed = ref 0
+  and fleet_window = ref Nadroid_core.Parallel.default_window in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
@@ -1156,6 +1164,34 @@ let () =
             Printf.eprintf "--rounds expects a positive integer, got %s\n" n;
             exit 2);
         parse rest
+    | "--apps" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some a when a >= 1 -> fleet_apps := a
+        | Some _ | None ->
+            Printf.eprintf "--apps expects a positive integer, got %s\n" n;
+            exit 2);
+        parse rest
+    | "--adversarial" :: n :: rest ->
+        (match float_of_string_opt n with
+        | Some f when f >= 0.0 && f <= 1.0 -> fleet_adversarial := f
+        | Some _ | None ->
+            Printf.eprintf "--adversarial expects a fraction in [0,1], got %s\n" n;
+            exit 2);
+        parse rest
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> fleet_seed := s
+        | None ->
+            Printf.eprintf "--seed expects an integer, got %s\n" n;
+            exit 2);
+        parse rest
+    | "--window" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some w when w >= 1 -> fleet_window := w
+        | Some _ | None ->
+            Printf.eprintf "--window expects a positive integer, got %s\n" n;
+            exit 2);
+        parse rest
     | arg :: rest ->
         which := arg;
         parse rest
@@ -1183,13 +1219,25 @@ let () =
       ("extension", extension);
     ]
   in
-  (match List.assoc_opt !which all with
+  (* fleet is opt-in only: a 5000-app mega-corpus has no place in the
+     `all` sweep *)
+  let extras =
+    [
+      ( "fleet",
+        fun () ->
+          Fleet.run ~jobs ~json ~window:!fleet_window ~apps:!fleet_apps
+            ~adversarial:!fleet_adversarial ~seed:!fleet_seed ~cache
+            ~cache_max_bytes () );
+    ]
+  in
+  (match List.assoc_opt !which (all @ extras) with
   | Some f -> f ()
   | None ->
       if String.equal !which "all" then List.iter (fun (_, f) -> f ()) all
       else begin
-        Printf.eprintf "unknown experiment %s (expected: all %s)\n" !which
-          (String.concat " " (List.map fst all));
+        Printf.eprintf "unknown experiment %s (expected: all %s %s)\n" !which
+          (String.concat " " (List.map fst all))
+          (String.concat " " (List.map fst extras));
         exit 2
       end);
   (* partial-failure batches printed their tables; still exit with the

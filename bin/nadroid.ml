@@ -197,9 +197,19 @@ let analyze_cmd =
              digest still matches are served from the journal, producing output \
              byte-identical to an uninterrupted run")
   in
+  let stream_arg =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "streamed emission for corpus-scale batches: one JSON line per FILE (the same \
+             per-file objects $(b,--json) aggregates), flushed as each file completes, in \
+             input order — nothing is accumulated, so memory stays bounded independent of \
+             the batch size. Journal/resume compatible. Mutually exclusive with $(b,--json)")
+  in
   let run files k sound_only jobs timings json budget_pta budget_tuples deadline
       budget_explorer cache no_cache cache_dir cache_max_bytes supervise heartbeat
-      journal_path resume =
+      journal_path resume stream =
     let module Cache = Nadroid_core.Cache in
     let module Journal = Nadroid_core.Journal in
     let module Supervise = Nadroid_core.Supervise in
@@ -214,6 +224,10 @@ let analyze_cmd =
     let use_cache = cache_enabled cache no_cache in
     if resume && journal_path = None then begin
       Fmt.epr "--resume needs --journal PATH@.";
+      exit 2
+    end;
+    if stream && json then begin
+      Fmt.epr "--stream and --json are mutually exclusive@.";
       exit 2
     end;
     (* force the shared builtin-program lazy before any domain spawns *)
@@ -282,6 +296,42 @@ let analyze_cmd =
           | Ok entry_outcome -> entry_outcome
           | Error f -> raise (Fault.Fault f))
     in
+    if stream then begin
+      (* corpus-scale path: the per-file JSON objects --json would
+         aggregate, one per line, flushed in input order as each file
+         completes. Nothing is accumulated except the fault inventory
+         (for the exit code), so memory is bounded by the scheduler
+         window, not the batch size. *)
+      let module Protocol = Nadroid_serve.Protocol in
+      let arr = Array.of_list files in
+      let n = Array.length arr in
+      let faults = ref [] in
+      Nadroid_core.Parallel.stream ~jobs ~n
+        (fun i -> analyze_one arr.(i))
+        (fun i r ->
+          let path = arr.(i) in
+          (match r with
+          | Ok ((e : Cache.entry), outcome) ->
+              warn_cache_outcome path outcome;
+              print_string (Protocol.entry_json ~name:path e)
+          | Error exn ->
+              let f = Fault.of_exn exn in
+              faults := f :: !faults;
+              print_string (Nadroid_core.Report.fault_to_json ~name:path f));
+          print_newline ();
+          flush stdout);
+      Option.iter Supervise.shutdown spool;
+      (match journal with Some (j, _) -> Journal.close j | None -> ());
+      if resume then
+        Fmt.epr "resume: %d of %d file(s) replayed from the journal@."
+          (Atomic.get reused) n;
+      match !faults with
+      | [] -> ()
+      | fs ->
+          Fmt.epr "%d of %d file(s) failed@." (List.length fs) n;
+          exit (Fault.worst_exit fs)
+    end
+    else begin
     let results =
       List.map2
         (fun path r -> (path, Result.map_error Fault.of_exn r))
@@ -330,6 +380,7 @@ let analyze_cmd =
     | _ :: _ ->
         Fmt.epr "%d of %d file(s) failed@." (List.length faults) (List.length files);
         exit (Fault.worst_exit faults))
+    end
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"statically detect UAF ordering violations")
@@ -337,7 +388,7 @@ let analyze_cmd =
       const run $ files_arg $ k_arg $ sound_only_arg $ jobs_arg $ timings_arg $ json_arg
       $ budget_pta_arg $ budget_tuples_arg $ deadline_arg $ budget_explorer_arg $ cache_arg
       $ no_cache_arg $ cache_dir_arg $ cache_max_bytes_arg $ supervise_arg $ heartbeat_arg
-      $ journal_arg $ resume_arg)
+      $ journal_arg $ resume_arg $ stream_arg)
 
 (* -- serve / request: the analysis daemon and its client ----------------- *)
 

@@ -61,3 +61,30 @@ val map : ?pool:Pool.t -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Fail-fast map on top of {!map_result}: the first failure in input
     order is re-raised in the caller after the batch completes. Same
     output as [List.map f xs] whenever [f] is pure. *)
+
+type sched =
+  | Static  (** per-domain round-robin split, no rebalancing (baseline) *)
+  | Steal  (** idle workers steal the back half of the longest peer deque *)
+
+val default_window : int
+(** Default admission window of {!stream} (256 in-flight indices). *)
+
+val stream :
+  ?jobs:int ->
+  ?window:int ->
+  ?sched:sched ->
+  n:int ->
+  (int -> 'b) ->
+  (int -> ('b, exn) result -> unit) ->
+  unit
+(** [stream ~n f emit] computes [f 0 .. f (n-1)] on up to [jobs] domains
+    (counting the caller) and calls [emit i result] for every index in
+    strict input order, crash-isolated per slot like {!map_result}. At
+    most [window] indices (default {!default_window}, floored at
+    [2*jobs]) are past the emission watermark at once, so memory stays
+    bounded independent of [n] — the streaming analogue of
+    {!map_result} for corpus-scale batches. [emit] is serialized on one
+    domain at a time and must not re-enter this module. If [emit]
+    raises, no further results are emitted and the exception is
+    re-raised in the caller after in-flight tasks finish. [jobs = 1]
+    runs everything sequentially in the calling domain. *)

@@ -235,4 +235,24 @@ rm -rf "$crash_dir" "$crash_sock"
 dune exec --no-print-directory bin/nadroid.exe -- faultfuzz \
   --seed 42 --trials 8 --apps 6 --jobs 2
 
+# 16. Fleet smoke: a seeded 500-app mega-corpus (2% adversarial) through
+#     the work-stealing scheduler on 4 jobs, cached under a tight
+#     --cache-max-bytes cap. The driver itself exits non-zero on any
+#     fault or any cross-scheduler digest mismatch; re-check both from
+#     BENCH_8.json anyway so a silent driver regression can't pass.
+fleet_dir="/tmp/nadroid-ci-fleet.$$"
+rm -rf "$fleet_dir" BENCH_8.json
+mkdir -p "$fleet_dir"
+dune exec --no-print-directory bench/main.exe -- fleet --json --jobs 4 \
+  --apps 500 --adversarial 0.02 --seed 42 \
+  --cache --cache-dir "$fleet_dir" --cache-max-bytes 262144 > /dev/null
+case $(cat BENCH_8.json) in
+*'"digests_identical":true,"faults":0,'*) ;;
+*)
+  echo "ci: fleet smoke must report zero faults and identical digests" >&2
+  exit 1
+  ;;
+esac
+rm -rf "$fleet_dir"
+
 echo "ci: ok"

@@ -604,6 +604,87 @@ let sigkill_then_resume_is_byte_identical () =
       | s -> Alcotest.failf "resume: %s" (Supervise.status_string s));
       Alcotest.(check string) "kill + resume = uninterrupted run" golden resumed)
 
+(* -- streamed emission vs the batch report ------------------------------- *)
+
+(* The streamed JSON-lines are the batch report, reordered into nothing:
+   concatenating the per-app lines of `--stream` inside the batch
+   envelope must reproduce `--json` byte for byte — over the full
+   corpus, with the stream running parallel and the batch sequential. *)
+let stream_concat_equals_batch_over_corpus () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let files =
+        List.map
+          (fun (a : Corpus.app) ->
+            let p = Filename.concat dir (a.Corpus.name ^ ".mand") in
+            write_file p a.Corpus.source;
+            p)
+          (Lazy.force Corpus.all)
+      in
+      let batch_status, batch =
+        run_cli ([ "analyze"; "--json"; "--jobs"; "1" ] @ files)
+      in
+      (match batch_status with
+      | Unix.WEXITED 0 -> ()
+      | s -> Alcotest.failf "batch run: %s" (Supervise.status_string s));
+      let stream_status, stream =
+        run_cli ([ "analyze"; "--stream"; "--jobs"; "4" ] @ files)
+      in
+      (match stream_status with
+      | Unix.WEXITED 0 -> ()
+      | s -> Alcotest.failf "stream run: %s" (Supervise.status_string s));
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' stream)
+      in
+      Alcotest.(check int) "one JSON line per app" (List.length files)
+        (List.length lines);
+      let reconstructed =
+        Printf.sprintf "{\"files\":%d,\"apps\":[%s],\"faults\":[]}\n"
+          (List.length files)
+          (String.concat "," lines)
+      in
+      Alcotest.(check string) "stream lines re-wrapped = batch report" batch
+        reconstructed)
+
+(* SIGKILL mid-stream: completed lines are already on stdout and in the
+   journal; --resume replays them and the full merged stream is
+   byte-identical to an uninterrupted one. *)
+let stream_sigkill_then_resume_is_byte_identical () =
+  with_batch (fun ~files ~jpath ~golden:_ ->
+      let status, golden_stream =
+        run_cli ([ "analyze"; "--stream"; "--jobs"; "1" ] @ files)
+      in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | s -> Alcotest.failf "golden stream: %s" (Supervise.status_string s));
+      let status, partial =
+        run_cli ~faults:"journal_append:2:kill"
+          ([ "analyze"; "--stream"; "--jobs"; "1"; "--journal"; jpath ] @ files)
+      in
+      (match status with
+      | Unix.WSIGNALED n when n = Sys.sigkill -> ()
+      | s -> Alcotest.failf "expected death by SIGKILL, got %s" (Supervise.status_string s));
+      (* app 1's line was flushed before the kill landed on app 2's
+         journal append — streaming means the reader already has it *)
+      (match String.index_opt golden_stream '\n' with
+      | None -> Alcotest.fail "golden stream has no lines"
+      | Some i ->
+          Alcotest.(check string) "flushed prefix survives on stdout"
+            (String.sub golden_stream 0 (i + 1))
+            partial);
+      Alcotest.(check int) "the flushed record survives in the journal" 1
+        (List.length (Journal.replay ~path:jpath));
+      let status, resumed =
+        run_cli
+          ([ "analyze"; "--stream"; "--jobs"; "1"; "--journal"; jpath; "--resume" ]
+          @ files)
+      in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | s -> Alcotest.failf "stream resume: %s" (Supervise.status_string s));
+      Alcotest.(check string) "kill + resume streams identical bytes"
+        golden_stream resumed)
+
 (* -- blast-radius fuzzing ------------------------------------------------ *)
 
 let faultfuzz_smoke () =
@@ -676,6 +757,10 @@ let suite =
           sigterm_stops_batch_durably;
         Alcotest.test_case "kill -9 then --resume is byte-identical" `Quick
           sigkill_then_resume_is_byte_identical;
+        Alcotest.test_case "--stream lines re-wrapped = --json batch, full corpus" `Quick
+          stream_concat_equals_batch_over_corpus;
+        Alcotest.test_case "kill -9 mid-stream then --resume is byte-identical" `Quick
+          stream_sigkill_then_resume_is_byte_identical;
       ] );
     ( "crash-fuzz",
       [ Alcotest.test_case "seeded fuzz over all seams: 0 escapes" `Quick faultfuzz_smoke ]
