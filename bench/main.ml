@@ -7,7 +7,7 @@
      dune exec bench/main.exe table2     -- Table 2 (false-negative study)
      dune exec bench/main.exe table3     -- Table 3 (DEvA comparison)
      dune exec bench/main.exe timing     -- §8.8 phase split + Bechamel
-     dune exec bench/main.exe perf       -- cold/warm/reference batches (BENCH_4.json)
+     dune exec bench/main.exe perf       -- cold/warm/reference batches (BENCH_9.json)
      dune exec bench/main.exe serve      -- daemon throughput/latency (BENCH_6.json)
      dune exec bench/main.exe crash      -- supervision + kill/resume (BENCH_7.json)
      dune exec bench/main.exe ablation   -- design-choice ablations
@@ -26,18 +26,28 @@ module Cache = Nadroid_core.Cache
 module Clock = Nadroid_clock.Clock
 
 (* Corpus batch through the analysis cache (crash-isolated, like
-   {!Corpus.analyze_all}); results are cache entries. [max_bytes] caps
-   the cache directory across the batch (LRU eviction after stores). *)
+   {!Corpus.analyze_all}); results are cache entries. The batch runs on
+   the same streaming scheduler as the uncached path — frontend and
+   analysis pipelined through one set of worker slots, with one
+   batch-shared interning table for the misses. [max_bytes] caps the
+   cache directory across the batch (LRU eviction after stores). *)
 let analyze_all_cached ?config ?max_bytes ~jobs ~dir (apps : Corpus.app list) :
     (Corpus.app * (Cache.entry * Cache.outcome, Fault.t) result) list =
   ignore (Lazy.force Nadroid_lang.Builtins.program);
-  List.map2
-    (fun app r -> (app, Result.map_error Fault.of_exn r))
+  let interner = Pipeline.create_interner () in
+  let arr = Array.of_list apps in
+  let out = Array.make (Array.length arr) None in
+  Nadroid_core.Parallel.stream ~jobs ~n:(Array.length arr)
+    (fun i ->
+      Cache.analyze ?config ?max_bytes ~interner ~dir ~file:arr.(i).Corpus.name
+        arr.(i).Corpus.source)
+    (fun i r -> out.(i) <- Some r);
+  List.mapi
+    (fun i app ->
+      match out.(i) with
+      | Some r -> (app, Result.map_error Fault.of_exn r)
+      | None -> assert false)
     apps
-    (Nadroid_core.Parallel.map_result ~jobs
-       (fun (app : Corpus.app) ->
-         Cache.analyze ?config ?max_bytes ~dir ~file:app.Corpus.name app.Corpus.source)
-       apps)
 
 (* ---------------------------------------------------------------- *)
 (* Table 1                                                            *)
@@ -431,12 +441,12 @@ let rm_cache_dir dir =
     try Unix.rmdir dir with Unix.Unix_error _ -> ()
   end
 
-let bench_json_file = "BENCH_4.json"
+let bench_json_file = "BENCH_9.json"
 
 (* Three timed full-corpus batches: cold (worklist solver, empty cache
    dir), warm (same dir — every analysis a cache hit) and reference
    (the snapshot re-iterate-all solver, uncached). Under --json the
-   document also lands in BENCH_4.json. *)
+   document also lands in BENCH_9.json. *)
 let perf ~jobs ~json ~cache_dir ~cache_max_bytes () =
   let apps = Lazy.force Corpus.all in
   let dir = Filename.concat cache_dir (Printf.sprintf "perf.%d" (Unix.getpid ())) in
@@ -477,6 +487,12 @@ let perf ~jobs ~json ~cache_dir ~cache_max_bytes () =
   in
   let cold_wall, cold_visits, cold_steps = sums cold in
   let ref_wall, ref_visits, ref_steps = sums reference in
+  let cold_frontend =
+    List.fold_left
+      (fun acc ((_ : Corpus.app), (e : Cache.entry)) ->
+        acc +. Pipeline.frontend_sum e.Cache.e_metrics)
+      0.0 cold
+  in
   let speedup a b = if b > 0.0 then a /. b else 0.0 in
   let find_ref (app : Corpus.app) =
     List.find_opt (fun ((a : Corpus.app), _) -> String.equal a.Corpus.name app.Corpus.name)
@@ -498,15 +514,17 @@ let perf ~jobs ~json ~cache_dir ~cache_max_bytes () =
         in
         Buffer.add_string buf
           (Printf.sprintf
-             "{\"name\":%S,\"cold_wall\":%.6f,\"ref_wall\":%.6f,\"pta_visits\":%d,\"pta_visits_ref\":%d,\"pta_steps\":%d,\"pta_steps_ref\":%d}"
-             app.Corpus.name e.Cache.e_metrics.Pipeline.m_wall rw
+             "{\"name\":%S,\"cold_wall\":%.6f,\"frontend\":%.6f,\"ref_wall\":%.6f,\"pta_visits\":%d,\"pta_visits_ref\":%d,\"pta_steps\":%d,\"pta_steps_ref\":%d}"
+             app.Corpus.name e.Cache.e_metrics.Pipeline.m_wall
+             (Pipeline.frontend_sum e.Cache.e_metrics) rw
              e.Cache.e_metrics.Pipeline.m_pta_visits rv
              e.Cache.e_metrics.Pipeline.m_pta_steps rs))
       cold;
     Buffer.add_string buf
       (Printf.sprintf
-         "],\"totals\":{\"apps\":%d,\"warm_hits\":%d,\"cold_elapsed\":%.6f,\"warm_elapsed\":%.6f,\"reference_elapsed\":%.6f,\"cold_wall\":%.6f,\"reference_wall\":%.6f,\"speedup_cold_vs_reference\":%.3f,\"speedup_warm_vs_cold\":%.1f,\"pta_visits\":%d,\"pta_visits_ref\":%d,\"pta_steps\":%d,\"pta_steps_ref\":%d}}"
-         (List.length cold) warm_hits cold_elapsed warm_elapsed ref_elapsed cold_wall ref_wall
+         "],\"totals\":{\"apps\":%d,\"warm_hits\":%d,\"cold_elapsed\":%.6f,\"warm_elapsed\":%.6f,\"reference_elapsed\":%.6f,\"cold_wall\":%.6f,\"cold_frontend\":%.6f,\"reference_wall\":%.6f,\"speedup_cold_vs_reference\":%.3f,\"speedup_warm_vs_cold\":%.1f,\"pta_visits\":%d,\"pta_visits_ref\":%d,\"pta_steps\":%d,\"pta_steps_ref\":%d}}"
+         (List.length cold) warm_hits cold_elapsed warm_elapsed ref_elapsed cold_wall
+         cold_frontend ref_wall
          (speedup ref_elapsed cold_elapsed)
          (speedup cold_elapsed warm_elapsed)
          cold_visits ref_visits cold_steps ref_steps);
@@ -1084,7 +1102,7 @@ let () =
                      [--cache-max-bytes BYTES]
      --jobs parallelizes the corpus drivers over N domains (default: all
      cores); --json makes `timing`/`perf` emit machine-readable bench
-     points (perf also writes BENCH_4.json) and switches every batch
+     points (perf also writes BENCH_9.json) and switches every batch
      failure inventory to JSON lines on stderr; --cache routes `timing`
      through the analysis cache; `perf` always uses a scratch cache
      under --cache-dir; --cache-max-bytes LRU-evicts the cache to that

@@ -16,18 +16,7 @@ type t = {
 }
 
 (* Instances reachable from [entry] through ordinary calls. *)
-let intra_thread_instances pta entry : IntSet.t =
-  let mark = Bytes.make (max (entry + 1) (Pta.n_instances pta)) '\000' in
-  let acc = ref [] in
-  let rec go i =
-    if Bytes.get mark i = '\000' then begin
-      Bytes.set mark i '\001';
-      acc := i :: !acc;
-      List.iter go (Pta.ordinary_succs pta i)
-    end
-  in
-  go entry;
-  IntSet.of_list !acc
+let intra_thread_instances = Pta.intra_instances
 
 (* One pass over the points-to table, grouping objects by instance and
    building the field-successor map — [run] then works off these maps
@@ -41,12 +30,12 @@ let index_pts pta : (int, IntSet.t) Hashtbl.t * (int, IntSet.t) Hashtbl.t * IntS
     | Some cur -> Hashtbl.replace tbl key (IntSet.union cur s)
     | None -> Hashtbl.replace tbl key s
   in
-  Hashtbl.iter
-    (fun node s ->
+  Pta.NodeTbl.iter
+    (fun node c ->
       match node with
-      | Pta.Nvar (i, _) | Pta.Nret i -> add by_inst i !s
-      | Pta.Nfld (o, _) -> add by_field o !s
-      | Pta.Nstatic _ -> statics := IntSet.union !statics !s)
+      | Pta.Nvar (i, _) | Pta.Nret i -> add by_inst i c.Pta.c_pts
+      | Pta.Nfld (o, _) -> add by_field o c.Pta.c_pts
+      | Pta.Nstatic _ -> statics := IntSet.union !statics c.Pta.c_pts)
     pta.Pta.pts;
   (by_inst, by_field, !statics)
 

@@ -63,6 +63,28 @@ let run (pta : Pta.t) : t =
   let prog = pta.Pta.prog in
   let entry_locks = Hashtbl.create 64 in
   let n = Pta.n_instances pta in
+  (* Monitor presence per body, memoized by method reference: a body
+     with no Monitor_enter/exit has the closed-form solution "every
+     fact equals the entry fact" (the transfer is the identity, top
+     and the entry meet at the entry fact under intersection), so the
+     per-instance dataflow fixpoint is skipped for it. Most bodies
+     never lock, which made the fixpoint below the aux phase's hottest
+     loop. *)
+  let monitors_tbl = Hashtbl.create 64 in
+  let has_monitors mref body =
+    match Hashtbl.find_opt monitors_tbl mref with
+    | Some b -> b
+    | None ->
+        let b = ref false in
+        Cfg.iter_instrs
+          (fun ins ->
+            match ins.Instr.i with
+            | Instr.Monitor_enter _ | Instr.Monitor_exit _ -> b := true
+            | _ -> ())
+          body;
+        Hashtbl.replace monitors_tbl mref !b;
+        !b
+  in
   (* interprocedural fixpoint: entry lockset = intersection over callers
      of (locks held at the call site); roots and posted callbacks start
      with the empty set. *)
@@ -93,13 +115,19 @@ let run (pta : Pta.t) : t =
       | None -> ()
       | Some body ->
           if Hashtbl.mem entry_locks i then begin
-            let facts = intra pta ~inst:i body ~entry_fact:(get i) in
+            let monitored = has_monitors inst.Pta.i_mref body in
+            let facts =
+              if monitored then intra pta ~inst:i body ~entry_fact:(get i) else []
+            in
             (* push held locks into ordinary callees *)
             List.iter
               (fun (e : Pta.call_edge) ->
                   let held_at_site =
-                    Option.value ~default:IntSet.empty
-                      (List.assoc_opt e.Pta.ce_instr.Instr.id facts)
+                    if monitored then
+                      Option.value ~default:IntSet.empty
+                        (List.assoc_opt e.Pta.ce_instr.Instr.id facts)
+                    else (* closed form: the entry fact holds everywhere *)
+                      get i
                   in
                   let updated =
                     match Hashtbl.find_opt entry_locks e.Pta.ce_to with
@@ -122,8 +150,20 @@ let run (pta : Pta.t) : t =
     match Prog.body prog inst.Pta.i_mref with
     | None -> ()
     | Some body ->
-        let facts = intra pta ~inst:i body ~entry_fact:(get i) in
-        List.iter (fun (id, fact) -> Hashtbl.replace at_instr (i, id) fact) facts
+        if has_monitors inst.Pta.i_mref body then
+          List.iter
+            (fun (id, fact) -> Hashtbl.replace at_instr (i, id) fact)
+            (intra pta ~inst:i body ~entry_fact:(get i))
+        else begin
+          (* closed form: every instruction holds exactly the entry
+             fact; an empty one needs no entries at all, since
+             {!locks_at} already defaults to the empty set *)
+          let fact = get i in
+          if not (IntSet.is_empty fact) then
+            Cfg.iter_instrs
+              (fun ins -> Hashtbl.replace at_instr (i, ins.Instr.id) fact)
+              body
+        end
   done;
   { entry_locks; at_instr }
 

@@ -73,13 +73,46 @@ type root = {
 
 (* -- pointer nodes ------------------------------------------------------- *)
 
+(* Field names are interned to dense ints at [create] time (one scan of
+   the program in a fixed order), so every pointer node is all-int: the
+   pts/deps tables are probed a few times per transfer step, and hashing
+   a node must not walk a "Class.field" string each time. Interning
+   during [create] — not lazily at first transfer — keeps the ids a pure
+   function of the program, so the worklist and reference solvers assign
+   identical ids and [equal_results] stays plain structural equality. *)
 type node =
   | Nvar of int * int  (** (instance id, var slot) *)
-  | Nfld of int * string  (** (object id, qualified field name) *)
-  | Nstatic of string
+  | Nfld of int * int  (** (object id, interned field id) *)
+  | Nstatic of int  (** interned field id *)
   | Nret of int  (** return value of an instance *)
 
 module IntSet = Set.Make (Int)
+
+(* A points-to cell and the instances that have read it, stored together:
+   the solver's hot path pairs almost every read with a reader
+   registration and every write with a wake-up, so splitting the two
+   across tables doubled the node hashing. *)
+type cell = { mutable c_pts : IntSet.t; mutable c_readers : IntSet.t }
+
+module NodeTbl = Hashtbl.Make (struct
+  type t = node
+
+  let equal (a : node) (b : node) =
+    match (a, b) with
+    | Nvar (i1, v1), Nvar (i2, v2) -> i1 = i2 && v1 = v2
+    | Nfld (o1, f1), Nfld (o2, f2) -> o1 = o2 && f1 = f2
+    | Nstatic f1, Nstatic f2 -> f1 = f2
+    | Nret i1, Nret i2 -> i1 = i2
+    | (Nvar _ | Nfld _ | Nstatic _ | Nret _), _ -> false
+
+  (* all-int mixing; the generic [Hashtbl.hash] block walk is measurable
+     at the solver's probe rate *)
+  let hash = function
+    | Nvar (i, v) -> (i * 0x9E3779B1) lxor (v * 0x85EBCA77) lxor 1
+    | Nfld (o, f) -> (o * 0x9E3779B1) lxor (f * 0x85EBCA77) lxor 2
+    | Nstatic f -> (f * 0x9E3779B1) lxor 3
+    | Nret i -> (i * 0x9E3779B1) lxor 4
+end)
 
 let field_key (fr : Instr.fref) = fr.Sema.fr_class ^ "." ^ fr.Sema.fr_name
 
@@ -96,8 +129,13 @@ type t = {
   inst_ids : (Instr.mref * ctx, int) Hashtbl.t;
   mutable insts : instance array;
   mutable n_insts : int;
-  (* points-to sets *)
-  pts : (node, IntSet.t ref) Hashtbl.t;
+  (* field-name interning: qualified name -> id, plus a per-fref memo so
+     transfers skip the name concatenation *)
+  field_ids : (string, int) Hashtbl.t;
+  fref_ids : (Instr.fref, int) Hashtbl.t;
+  thread_target_id : int;  (* the synthetic "Thread.target" field *)
+  (* points-to sets, with per-cell reader tracking *)
+  pts : cell NodeTbl.t;
   (* discovered call edges, deduped *)
   edge_seen : (int * int * int, unit) Hashtbl.t;  (* from, instr id, to *)
   mutable edges : call_edge list;
@@ -116,7 +154,6 @@ type t = {
   (* absolute wall-clock bound, checked every 1024 steps *)
   deadline : float option;
   (* worklist machinery — inert under the reference solver *)
-  deps : (node, IntSet.t ref) Hashtbl.t;  (* cell -> instances that read it *)
   mutable sched_cur : Bytes.t;  (* dirty instances, current round *)
   mutable sched_next : Bytes.t;  (* dirty instances, next round *)
   mutable pending_next : int;  (* bits set in sched_next *)
@@ -126,6 +163,9 @@ type t = {
   mutable visits : int;  (* method-instance bodies executed *)
   (* lazily built adjacency over ordinary edges, for client traversals *)
   mutable succ_idx : (int, int list) Hashtbl.t option;
+  (* memoized ordinary-call closures ({!intra_instances}): escape,
+     threadification and detection all query the same entries *)
+  intra_cache : (int, IntSet.t) Hashtbl.t;
 }
 
 type solver = Worklist | Reference
@@ -133,16 +173,46 @@ type solver = Worklist | Reference
 exception Out_of_budget
 
 let create ?(k = 2) ?budget ?tuple_budget ?deadline (prog : Prog.t) : t =
+  let field_ids = Hashtbl.create 64 in
+  let fref_ids = Hashtbl.create 64 in
+  let intern key =
+    match Hashtbl.find_opt field_ids key with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length field_ids in
+        Hashtbl.add field_ids key id;
+        id
+  in
+  let thread_target_id = intern "Thread.target" in
+  Prog.iter_bodies
+    (fun body ->
+      Cfg.iter_instrs
+        (fun ins ->
+          match ins.Instr.i with
+          | Instr.Getfield (_, _, fr)
+          | Instr.Putfield (_, fr, _, _)
+          | Instr.Getstatic (_, fr)
+          | Instr.Putstatic (fr, _, _) ->
+              if not (Hashtbl.mem fref_ids fr) then
+                Hashtbl.add fref_ids fr (intern (field_key fr))
+          | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Call _ | Instr.Intrinsic _
+          | Instr.Unop _ | Instr.Binop _ | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+              ())
+        body)
+    prog;
   {
     prog;
     k;
+    field_ids;
+    fref_ids;
+    thread_target_id;
     obj_ids = Hashtbl.create 256;
     objs = Array.make 256 { o_site = { Instr.as_method = { Instr.mr_class = ""; mr_name = "" }; as_idx = 0; as_class = ""; as_loc = Loc.dummy }; o_hctx = [] };
     n_objs = 0;
     inst_ids = Hashtbl.create 256;
     insts = Array.make 256 { i_id = 0; i_mref = { Instr.mr_class = ""; mr_name = "" }; i_ctx = [] };
     n_insts = 0;
-    pts = Hashtbl.create 1024;
+    pts = NodeTbl.create 1024;
     edge_seen = Hashtbl.create 256;
     edges = [];
     roots = [];
@@ -154,7 +224,6 @@ let create ?(k = 2) ?budget ?tuple_budget ?deadline (prog : Prog.t) : t =
     tuples = 0;
     tuple_budget;
     deadline;
-    deps = Hashtbl.create 1024;
     sched_cur = Bytes.make 256 '\000';
     sched_next = Bytes.make 256 '\000';
     pending_next = 0;
@@ -163,11 +232,31 @@ let create ?(k = 2) ?budget ?tuple_budget ?deadline (prog : Prog.t) : t =
     tracking = false;
     visits = 0;
     succ_idx = None;
+    intra_cache = Hashtbl.create 64;
   }
 
 let obj t id = t.objs.(id)
 
 let instance t id = t.insts.(id)
+
+(* Interned id of a field reference. Program fields were all pre-scanned
+   by [create]; the on-demand fallback covers client queries mentioning
+   a field the program never touches. *)
+let fld t (fr : Instr.fref) =
+  match Hashtbl.find_opt t.fref_ids fr with
+  | Some id -> id
+  | None ->
+      let key = field_key fr in
+      let id =
+        match Hashtbl.find_opt t.field_ids key with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length t.field_ids in
+            Hashtbl.add t.field_ids key id;
+            id
+      in
+      Hashtbl.add t.fref_ids fr id;
+      id
 
 (* Mark instance [j] dirty. Updates land in the current round only when
    the ascending scan has not yet reached [j] and [j] was already part of
@@ -247,22 +336,21 @@ let is_synthetic_site (s : Instr.alloc_site) = String.equal s.Instr.as_method.In
 
 (* Reads register the visiting instance as a reader of the cell. Reader
    sets only grow — sound because points-to sets only grow, so a stale
-   reader's re-visit is at worst a no-op. *)
+   reader's re-visit is at worst a no-op. Reading an absent cell under
+   tracking materializes an empty cell to hold the reader; empty cells
+   cost no tuples and are invisible to every client (unions and
+   equality checks against the empty set). *)
 let get_pts t node =
-  if t.tracking && t.cursor >= 0 then begin
-    match Hashtbl.find_opt t.deps node with
-    | Some rs -> if not (IntSet.mem t.cursor !rs) then rs := IntSet.add t.cursor !rs
-    | None -> Hashtbl.add t.deps node (ref (IntSet.singleton t.cursor))
-  end;
-  match Hashtbl.find_opt t.pts node with
-  | Some s -> !s
-  | None -> IntSet.empty
-
-let wake_readers t node =
-  if t.tracking then
-    match Hashtbl.find_opt t.deps node with
-    | Some rs -> IntSet.iter (schedule t) !rs
-    | None -> ()
+  match NodeTbl.find_opt t.pts node with
+  | Some c ->
+      if t.tracking && t.cursor >= 0 && not (IntSet.mem t.cursor c.c_readers) then
+        c.c_readers <- IntSet.add t.cursor c.c_readers;
+      c.c_pts
+  | None ->
+      if t.tracking && t.cursor >= 0 then
+        NodeTbl.add t.pts node
+          { c_pts = IntSet.empty; c_readers = IntSet.singleton t.cursor };
+      IntSet.empty
 
 (* Tuple accounting costs a [cardinal] per grown cell, so it is skipped
    entirely when no ceiling is set. A raise here discards the whole
@@ -273,24 +361,24 @@ let bump_tuples t b delta =
 
 let add_pts t node objs =
   if not (IntSet.is_empty objs) then
-    match Hashtbl.find_opt t.pts node with
-    | Some s ->
-        let u = IntSet.union !s objs in
-        if not (IntSet.equal u !s) then begin
+    match NodeTbl.find_opt t.pts node with
+    | Some c ->
+        let u = IntSet.union c.c_pts objs in
+        if not (IntSet.equal u c.c_pts) then begin
           (match t.tuple_budget with
           | None -> ()
-          | Some b -> bump_tuples t b (IntSet.cardinal u - IntSet.cardinal !s));
-          s := u;
+          | Some b -> bump_tuples t b (IntSet.cardinal u - IntSet.cardinal c.c_pts));
+          c.c_pts <- u;
           t.changed <- true;
-          wake_readers t node
+          if t.tracking then IntSet.iter (schedule t) c.c_readers
         end
     | None ->
         (match t.tuple_budget with
         | None -> ()
         | Some b -> bump_tuples t b (IntSet.cardinal objs));
-        Hashtbl.add t.pts node (ref objs);
-        t.changed <- true;
-        wake_readers t node
+        (* a cell nobody has read yet: no readers to wake *)
+        NodeTbl.add t.pts node { c_pts = objs; c_readers = IntSet.empty };
+        t.changed <- true
 
 let add_obj t node oid = add_pts t node (IntSet.singleton oid)
 
@@ -310,6 +398,7 @@ let record_edge t ~from ~(instr : Instr.t) ~kind ~target =
     Hashtbl.add t.edge_seen key ();
     t.edges <- { ce_from = from; ce_instr = instr; ce_kind = kind; ce_to = target } :: t.edges;
     t.succ_idx <- None;
+    Hashtbl.reset t.intra_cache;
     t.changed <- true
   end
 
@@ -389,7 +478,7 @@ let transfer_call t ~caller (instr : Instr.t) dst recv ms args =
       (* run() of the target runnable stored in the Thread object *)
       IntSet.iter
         (fun tid ->
-          let targets = get_pts t (Nfld (tid, "Thread.target")) in
+          let targets = get_pts t (Nfld (tid, t.thread_target_id)) in
           dispatch_objs t ~caller ~instr ~kind:(E_api kind) ~objs:targets ~meth:"run"
             ~arg_pts:[] ~dst:None)
         recv_pts
@@ -452,16 +541,18 @@ let transfer_instr t ~caller (ins : Instr.t) =
           dispatch_objs t ~caller ~instr:ins ~kind:E_ordinary ~objs:(IntSet.singleton oid)
             ~meth:ms.Sema.ms_name ~arg_pts ~dst:None)
   | Instr.Getfield (d, o, fr) ->
+      let f = fld t fr in
       IntSet.iter
-        (fun oid -> add_pts t (var d) (get_pts t (Nfld (oid, field_key fr))))
+        (fun oid -> add_pts t (var d) (get_pts t (Nfld (oid, f))))
         (get_pts t (var o))
   | Instr.Putfield (o, fr, s, Instr.Src_var) ->
+      let f = fld t fr in
       let src = get_pts t (var s) in
-      IntSet.iter (fun oid -> add_pts t (Nfld (oid, field_key fr)) src) (get_pts t (var o))
+      IntSet.iter (fun oid -> add_pts t (Nfld (oid, f)) src) (get_pts t (var o))
   | Instr.Putfield (_, _, _, Instr.Src_null) -> ()
-  | Instr.Getstatic (d, fr) -> add_pts t (var d) (get_pts t (Nstatic (field_key fr)))
+  | Instr.Getstatic (d, fr) -> add_pts t (var d) (get_pts t (Nstatic (fld t fr)))
   | Instr.Putstatic (fr, s, Instr.Src_var) ->
-      add_pts t (Nstatic (field_key fr)) (get_pts t (var s))
+      add_pts t (Nstatic (fld t fr)) (get_pts t (var s))
   | Instr.Putstatic (_, _, Instr.Src_null) -> ()
   | Instr.Call (dst, recv, ms, args) -> transfer_call t ~caller ins dst recv ms args
   | Instr.Intrinsic _ -> ()
@@ -628,9 +719,9 @@ let run_budgeted ?steps ?tuples ?deadline ?solver ?k prog =
 
 let pts_var t ~inst ~(v : Instr.var) : IntSet.t = get_pts t (Nvar (inst, v.Instr.v_id))
 
-let pts_field t ~obj_id ~(fr : Instr.fref) : IntSet.t = get_pts t (Nfld (obj_id, field_key fr))
+let pts_field t ~obj_id ~(fr : Instr.fref) : IntSet.t = get_pts t (Nfld (obj_id, fld t fr))
 
-let pts_static t (fr : Instr.fref) : IntSet.t = get_pts t (Nstatic (field_key fr))
+let pts_static t (fr : Instr.fref) : IntSet.t = get_pts t (Nstatic (fld t fr))
 
 let instances t = Array.to_list (Array.sub t.insts 0 t.n_insts)
 
@@ -656,11 +747,13 @@ let tuples t = t.tuples
    is plain equality, not equality-modulo-renaming. *)
 let equal_results a b =
   let pts_subset p q =
-    Hashtbl.fold
-      (fun node s acc ->
+    NodeTbl.fold
+      (fun node c acc ->
         acc
-        && IntSet.equal !s
-             (match Hashtbl.find_opt q node with Some s' -> !s' | None -> IntSet.empty))
+        && IntSet.equal c.c_pts
+             (match NodeTbl.find_opt q node with
+             | Some c' -> c'.c_pts
+             | None -> IntSet.empty))
       p true
   in
   a.n_objs = b.n_objs
@@ -693,20 +786,41 @@ let ordinary_succs t inst =
   in
   Option.value ~default:[] (Hashtbl.find_opt idx inst)
 
+(* Instances reachable from [entry] through ordinary calls, memoized:
+   every downstream client (escape counting, forest expansion, access
+   collection, filters) closes over the same few dozen thread entries. *)
+let intra_instances t entry : IntSet.t =
+  match Hashtbl.find_opt t.intra_cache entry with
+  | Some s -> s
+  | None ->
+      let mark = Bytes.make (max (entry + 1) t.n_insts) '\000' in
+      let acc = ref [] in
+      let rec go i =
+        if Bytes.get mark i = '\000' then begin
+          Bytes.set mark i '\001';
+          acc := i :: !acc;
+          List.iter go (ordinary_succs t i)
+        end
+      in
+      go entry;
+      let s = IntSet.of_list !acc in
+      Hashtbl.replace t.intra_cache entry s;
+      s
+
 (* All objects stored anywhere in a field of [oid] — the heap-reachability
    step used by the escape analysis. *)
 let field_succs t oid =
-  Hashtbl.fold
-    (fun node s acc ->
+  NodeTbl.fold
+    (fun node c acc ->
       match node with
-      | Nfld (o, _) when o = oid -> IntSet.union !s acc
+      | Nfld (o, _) when o = oid -> IntSet.union c.c_pts acc
       | Nfld _ | Nvar _ | Nstatic _ | Nret _ -> acc)
     t.pts IntSet.empty
 
 let static_objs t =
-  Hashtbl.fold
-    (fun node s acc ->
+  NodeTbl.fold
+    (fun node c acc ->
       match node with
-      | Nstatic _ -> IntSet.union !s acc
+      | Nstatic _ -> IntSet.union c.c_pts acc
       | Nfld _ | Nvar _ | Nret _ -> acc)
     t.pts IntSet.empty

@@ -48,12 +48,24 @@ type root = {
 }
 
 (** Pointer nodes; exposed so that client analyses (escape) can traverse
-    the final points-to table. *)
+    the final points-to table. Field names are interned to dense ids at
+    solver creation (in program order, so ids are a pure function of the
+    program) — all-int nodes keep the hot pts/deps probes off string
+    hashing. *)
 type node =
   | Nvar of int * int  (** (instance id, var slot) *)
-  | Nfld of int * string  (** (object id, qualified field name) *)
-  | Nstatic of string
+  | Nfld of int * int  (** (object id, interned field id) *)
+  | Nstatic of int  (** interned field id *)
   | Nret of int
+
+type cell = { mutable c_pts : IntSet.t; mutable c_readers : IntSet.t }
+(** A points-to set and the instances that have read it (worklist
+    dependency tracking), stored together: the solver probes both on
+    nearly every transfer. [c_readers] is empty under the reference
+    solver. An empty [c_pts] (a cell only ever read) is equivalent to
+    the node being absent. *)
+
+module NodeTbl : Hashtbl.S with type key = node
 
 type t = {
   prog : Prog.t;
@@ -64,7 +76,10 @@ type t = {
   inst_ids : (Instr.mref * ctx, int) Hashtbl.t;
   mutable insts : instance array;
   mutable n_insts : int;
-  pts : (node, IntSet.t ref) Hashtbl.t;  (** the final points-to table *)
+  field_ids : (string, int) Hashtbl.t;  (** qualified field name -> id *)
+  fref_ids : (Instr.fref, int) Hashtbl.t;  (** per-fref interning memo *)
+  thread_target_id : int;  (** the synthetic "Thread.target" field *)
+  pts : cell NodeTbl.t;  (** the final points-to table *)
   edge_seen : (int * int * int, unit) Hashtbl.t;
   mutable edges : call_edge list;
   mutable roots : root list;
@@ -79,8 +94,6 @@ type t = {
   tuple_budget : int option;  (** tuple ceiling; [None] = unbounded *)
   deadline : float option;
       (** absolute wall-clock bound, sampled every 1024 steps *)
-  deps : (node, IntSet.t ref) Hashtbl.t;
-      (** worklist dependency table: cell -> reader instances *)
   mutable sched_cur : Bytes.t;
   mutable sched_next : Bytes.t;
   mutable pending_next : int;
@@ -90,6 +103,8 @@ type t = {
   mutable visits : int;  (** method-instance bodies executed so far *)
   mutable succ_idx : (int, int list) Hashtbl.t option;
       (** lazily built ordinary-edge adjacency ({!ordinary_succs}) *)
+  intra_cache : (int, IntSet.t) Hashtbl.t;
+      (** entry instance -> intra-thread closure ({!intra_instances}) *)
 }
 (** Solver state, exposed read-only by convention after {!run}. *)
 
@@ -167,6 +182,11 @@ val tuples : t -> int
 val ordinary_succs : t -> int -> int list
 (** Ordinary-call successors of an instance (intra-thread closure);
     amortized O(out-degree) off a lazily built adjacency index. *)
+
+val intra_instances : t -> int -> IntSet.t
+(** Instances reachable from [entry] through ordinary (non-thread) call
+    edges — the intra-thread closure. Memoized per entry; escape,
+    threadify and the filters all share the one computation. *)
 
 val field_succs : t -> int -> IntSet.t
 (** Objects stored in any field of the given object. *)

@@ -247,14 +247,16 @@ let entry_of_result (t : Pipeline.t) : entry =
    caps the directory size: eviction runs opportunistically after each
    store, and the just-stored entry carries the newest mtime, so it is
    the last candidate to go. *)
-let analyze ?config ?max_bytes ~dir ~file (src : string) : entry * outcome =
+let analyze ?config ?max_bytes ?interner ~dir ~file (src : string) : entry * outcome =
   let config = Option.value config ~default:Pipeline.default_config in
   sweep_on_open ~dir;
   let k = key ~config src in
   match find ~dir k with
   | Some e, Hit -> (e, Hit)
   | _, ((Miss | Corrupt _) as outcome) ->
-      let t = Pipeline.analyze ~config ~file src in
+      (* [interner] stays out of the cache key on purpose: sharing a
+         batch symbol table never changes the produced entry *)
+      let t = Pipeline.analyze ~config ?interner ~file src in
       let e = entry_of_result t in
       (* persistence is best-effort: a failed store (disk full, injected
          I/O fault) costs the next run a recompute, never this run its

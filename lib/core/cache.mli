@@ -71,6 +71,7 @@ val entry_of_result : Pipeline.t -> entry
 val analyze :
   ?config:Pipeline.config ->
   ?max_bytes:int ->
+  ?interner:Pipeline.interner ->
   dir:string ->
   file:string ->
   string ->
@@ -80,4 +81,6 @@ val analyze :
     with the outcome that forced the work. Analysis faults propagate
     as exceptions exactly like {!Pipeline.analyze}. [max_bytes] runs
     {!evict} opportunistically after the store; the fresh entry carries
-    the newest mtime, so it is evicted last. *)
+    the newest mtime, so it is evicted last. [interner] is forwarded to
+    {!Pipeline.analyze} on a miss; it is deliberately not part of the
+    cache key, since sharing cannot change the entry. *)

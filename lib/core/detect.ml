@@ -56,73 +56,86 @@ let deadline_checkpoint = function
         if !n land 255 = 0 && Clock.now () > d then
           raise (Fault.Fault (Fault.Budget Fault.P_detect))
 
-(* Collect uses and frees per thread. *)
+(* Collect uses and frees per thread.
+
+   Threads overlap heavily on the instances they execute, and an
+   access's (site, field, points-to) payload depends only on the
+   instance — just the thread id differs. So each instance's body is
+   scanned once into a template list, and the per-thread pass merely
+   stamps templates with the thread id, instead of rescanning every
+   shared body (and re-querying the points-to sets) per thread. *)
+type templ = { t_use : bool; t_site : site; t_field : Instr.fref; t_objs : IntSet.t; t_static : bool }
+
 let collect_accesses ?deadline (tf : Threadify.t) : access list * access list =
   let checkpoint = deadline_checkpoint deadline in
   let pta = tf.Threadify.pta in
   let prog = pta.Pta.prog in
+  (* instance id -> its field accesses, in instruction order *)
+  let templs : (int, templ list) Hashtbl.t = Hashtbl.create 256 in
+  let templates_of inst_id =
+    match Hashtbl.find_opt templs inst_id with
+    | Some ts -> ts
+    | None ->
+        let inst = Pta.instance pta inst_id in
+        let acc = ref [] in
+        (match Prog.body prog inst.Pta.i_mref with
+        | None -> ()
+        | Some body ->
+            Cfg.iter_instrs
+              (fun ins ->
+                checkpoint ();
+                let site () = { s_inst = inst_id; s_mref = inst.Pta.i_mref; s_instr = ins } in
+                match ins.Instr.i with
+                | Instr.Getfield (_, o, fr) ->
+                    acc :=
+                      { t_use = true; t_site = site (); t_field = fr;
+                        t_objs = Pta.pts_var pta ~inst:inst_id ~v:o; t_static = false }
+                      :: !acc
+                | Instr.Getstatic (_, fr) ->
+                    acc :=
+                      { t_use = true; t_site = site (); t_field = fr;
+                        t_objs = IntSet.empty; t_static = true }
+                      :: !acc
+                | Instr.Putfield (o, fr, _, Instr.Src_null) ->
+                    acc :=
+                      { t_use = false; t_site = site (); t_field = fr;
+                        t_objs = Pta.pts_var pta ~inst:inst_id ~v:o; t_static = false }
+                      :: !acc
+                | Instr.Putstatic (fr, _, Instr.Src_null) ->
+                    acc :=
+                      { t_use = false; t_site = site (); t_field = fr;
+                        t_objs = IntSet.empty; t_static = true }
+                      :: !acc
+                | Instr.Putfield (_, _, _, Instr.Src_var)
+                | Instr.Putstatic (_, _, Instr.Src_var)
+                | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Call _
+                | Instr.Intrinsic _ | Instr.Unop _ | Instr.Binop _
+                | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
+                    ())
+              body);
+        let ts = List.rev !acc in
+        Hashtbl.replace templs inst_id ts;
+        ts
+  in
   let uses = ref [] and frees = ref [] in
   List.iter
     (fun th ->
       if th.Threadify.th_entry >= 0 then
         IntSet.iter
           (fun inst_id ->
-            let inst = Pta.instance pta inst_id in
-            match Prog.body prog inst.Pta.i_mref with
-            | None -> ()
-            | Some body ->
-                Cfg.iter_instrs
-                  (fun ins ->
-                    checkpoint ();
-                    let site = { s_inst = inst_id; s_mref = inst.Pta.i_mref; s_instr = ins } in
-                    match ins.Instr.i with
-                    | Instr.Getfield (_, o, fr) ->
-                        uses :=
-                          {
-                            a_thread = th.Threadify.th_id;
-                            a_site = site;
-                            a_field = fr;
-                            a_objs = Pta.pts_var pta ~inst:inst_id ~v:o;
-                            a_static = false;
-                          }
-                          :: !uses
-                    | Instr.Getstatic (_, fr) ->
-                        uses :=
-                          {
-                            a_thread = th.Threadify.th_id;
-                            a_site = site;
-                            a_field = fr;
-                            a_objs = IntSet.empty;
-                            a_static = true;
-                          }
-                          :: !uses
-                    | Instr.Putfield (o, fr, _, Instr.Src_null) ->
-                        frees :=
-                          {
-                            a_thread = th.Threadify.th_id;
-                            a_site = site;
-                            a_field = fr;
-                            a_objs = Pta.pts_var pta ~inst:inst_id ~v:o;
-                            a_static = false;
-                          }
-                          :: !frees
-                    | Instr.Putstatic (fr, _, Instr.Src_null) ->
-                        frees :=
-                          {
-                            a_thread = th.Threadify.th_id;
-                            a_site = site;
-                            a_field = fr;
-                            a_objs = IntSet.empty;
-                            a_static = true;
-                          }
-                          :: !frees
-                    | Instr.Putfield (_, _, _, Instr.Src_var)
-                    | Instr.Putstatic (_, _, Instr.Src_var)
-                    | Instr.Move _ | Instr.Const _ | Instr.New _ | Instr.Call _
-                    | Instr.Intrinsic _ | Instr.Unop _ | Instr.Binop _
-                    | Instr.Monitor_enter _ | Instr.Monitor_exit _ ->
-                        ())
-                  body)
+            List.iter
+              (fun t ->
+                let a =
+                  {
+                    a_thread = th.Threadify.th_id;
+                    a_site = t.t_site;
+                    a_field = t.t_field;
+                    a_objs = t.t_objs;
+                    a_static = t.t_static;
+                  }
+                in
+                if t.t_use then uses := a :: !uses else frees := a :: !frees)
+              (templates_of inst_id))
           (Threadify.instances_of tf th))
     (Threadify.threads tf);
   (!uses, !frees)
@@ -144,16 +157,23 @@ let may_alias (esc : Escape.t) (a : access) (b : access) =
   String.equal (field_key a.a_field) (field_key b.a_field) && alias_memory esc a b
 
 (* The race rule both joins share:
-     race(U, F) :- use_at(U, K), free_at(F, K), alias(U, F).
-   [alias] is loaded as an EDB relation computed from points-to overlap. *)
+     race(U, F) :- alias(U, F), use_at(U, K), free_at(F, K).
+   [alias] is loaded as an EDB relation computed from points-to overlap.
+   The body leads with [alias]: it is the sparsest relation (only
+   genuinely aliasing pairs), so the join enumerates |alias| bindings and
+   closes each with two indexed probes — leading with [use_at] made the
+   engine walk every same-field use x free pair just to filter almost all
+   of them against [alias]. Both fact loaders insert [alias] in
+   (use index asc, free index asc) order so the derivation order, and
+   with it the warning order, is unchanged. *)
 let solve_race db : (int * int) list =
   let v x = Nadroid_datalog.Engine.Var x in
   Nadroid_datalog.Engine.add_rule db
     (Nadroid_datalog.Engine.atom "race" [ v "u"; v "f" ])
     [
+      Nadroid_datalog.Engine.Pos (Nadroid_datalog.Engine.atom "alias" [ v "u"; v "f" ]);
       Nadroid_datalog.Engine.Pos (Nadroid_datalog.Engine.atom "use_at" [ v "u"; v "k" ]);
       Nadroid_datalog.Engine.Pos (Nadroid_datalog.Engine.atom "free_at" [ v "f"; v "k" ]);
-      Nadroid_datalog.Engine.Pos (Nadroid_datalog.Engine.atom "alias" [ v "u"; v "f" ]);
     ];
   List.filter_map
     (fun row ->
@@ -170,21 +190,22 @@ let solve_race db : (int * int) list =
    fields of uses_f * frees_f) instead of the |uses| * |frees| global
    cross-product with a string comparison per pair. The Datalog [race]
    join itself is unchanged, mirroring Chord's bddbddb pipeline. *)
-let candidate_join ?deadline ?max_tuples (esc : Escape.t) (uses : access array)
+let candidate_join ?deadline ?max_tuples ?symbols (esc : Escape.t) (uses : access array)
     (frees : access array) : (int * int) list =
   let checkpoint = deadline_checkpoint deadline in
-  let db = Nadroid_datalog.Engine.create ?max_tuples () in
+  let db = Nadroid_datalog.Engine.create ?symbols ?max_tuples () in
   let sym = Nadroid_datalog.Engine.symbols db in
   let uid i = "u" ^ string_of_int i and fid i = "f" ^ string_of_int i in
-  (* intern every access's field key once, up front *)
-  let ukeys = Array.map (fun a -> field_key a.a_field) uses in
-  let fkeys = Array.map (fun a -> field_key a.a_field) frees in
-  let ukey_ids = Array.map (Nadroid_datalog.Symbol.intern sym) ukeys in
-  let fkey_ids = Array.map (Nadroid_datalog.Symbol.intern sym) fkeys in
-  Nadroid_datalog.Engine.facts db "use_at"
-    (List.init (Array.length uses) (fun i -> [ uid i; ukeys.(i) ]));
-  Nadroid_datalog.Engine.facts db "free_at"
-    (List.init (Array.length frees) (fun i -> [ fid i; fkeys.(i) ]));
+  (* intern every access's field key and row label once, up front; the
+     relations then load at the id level *)
+  let ukey_ids = Array.map (fun a -> Nadroid_datalog.Symbol.intern sym (field_key a.a_field)) uses in
+  let fkey_ids = Array.map (fun a -> Nadroid_datalog.Symbol.intern sym (field_key a.a_field)) frees in
+  let uid_ids = Array.init (Array.length uses) (fun i -> Nadroid_datalog.Symbol.intern sym (uid i)) in
+  let fid_ids = Array.init (Array.length frees) (fun i -> Nadroid_datalog.Symbol.intern sym (fid i)) in
+  Nadroid_datalog.Engine.facts_ids db "use_at"
+    (List.init (Array.length uses) (fun i -> [| uid_ids.(i); ukey_ids.(i) |]));
+  Nadroid_datalog.Engine.facts_ids db "free_at"
+    (List.init (Array.length frees) (fun i -> [| fid_ids.(i); fkey_ids.(i) |]));
   (* bucket frees by interned key, then enumerate per-bucket pairs *)
   let buckets : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
@@ -193,6 +214,10 @@ let candidate_join ?deadline ?max_tuples (esc : Escape.t) (uses : access array)
       | Some l -> l := j :: !l
       | None -> Hashtbl.add buckets k (ref [ j ]))
     fkey_ids;
+  (* cons-building leaves buckets free-index-descending; flip them so the
+     alias facts land in the (use asc, free asc) order [solve_race]'s
+     derivation order contract requires *)
+  Hashtbl.iter (fun _ l -> l := List.rev !l) buckets;
   let alias = ref [] in
   Array.iteri
     (fun i a ->
@@ -204,10 +229,10 @@ let candidate_join ?deadline ?max_tuples (esc : Escape.t) (uses : access array)
               checkpoint ();
               let b = frees.(j) in
               if a.a_thread <> b.a_thread && alias_memory esc a b then
-                alias := [ uid i; fid j ] :: !alias)
+                alias := [| uid_ids.(i); fid_ids.(j) |] :: !alias)
             !frees_of_key)
     uses;
-  Nadroid_datalog.Engine.facts db "alias" !alias;
+  Nadroid_datalog.Engine.facts_ids db "alias" (List.rev !alias);
   solve_race db
 
 (* Reference oracle for the equivalence property test: the original
@@ -237,15 +262,22 @@ let run_with ?deadline ~join (tf : Threadify.t) (esc : Escape.t) : warning list 
   let pairs = join esc uses frees in
   (* pair membership is tracked per warning in a hash set (the pair list
      used to be scanned with [List.mem], quadratic in pairs); the
-     accumulated [w_pairs] order is unchanged *)
-  let table : (string * string, warning ref * (int * int, unit) Hashtbl.t) Hashtbl.t =
+     accumulated [w_pairs] order is unchanged. Warnings dedup on the
+     structural site identity (method reference + instruction id, the
+     same components [site_key] formats) rather than formatted key
+     strings — rendering two keys per race pair dominated the dedup. *)
+  let skey s = (s.s_mref.Instr.mr_class, s.s_mref.Instr.mr_name, s.s_instr.Instr.id) in
+  let table
+      : ( (string * string * int) * (string * string * int),
+          warning ref * (int * int, unit) Hashtbl.t )
+        Hashtbl.t =
     Hashtbl.create 64
   in
   let order = ref [] in
   List.iter
     (fun (ui, fi) ->
       let u = uses.(ui) and f = frees.(fi) in
-      let key = (site_key u.a_site, site_key f.a_site) in
+      let key = (skey u.a_site, skey f.a_site) in
       let p = (u.a_thread, f.a_thread) in
       match Hashtbl.find_opt table key with
       | Some (w, seen) ->
@@ -264,8 +296,8 @@ let run_with ?deadline ~join (tf : Threadify.t) (esc : Escape.t) : warning list 
     pairs;
   List.rev_map (fun key -> !(fst (Hashtbl.find table key))) !order
 
-let run ?deadline ?max_tuples tf esc =
-  try run_with ?deadline ~join:(candidate_join ?deadline ?max_tuples) tf esc
+let run ?deadline ?max_tuples ?symbols tf esc =
+  try run_with ?deadline ~join:(candidate_join ?deadline ?max_tuples ?symbols) tf esc
   with Nadroid_datalog.Relation.Out_of_budget ->
     (* the candidate join blew the relation cardinality ceiling; unlike
        the PTA there is no coarser precision to fall back to, so this is

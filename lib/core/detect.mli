@@ -46,7 +46,17 @@ val warning_key : warning -> string * string
 
 val field_key : Instr.fref -> string
 
-val run : ?deadline:float -> ?max_tuples:int -> Threadify.t -> Escape.t -> warning list
+val collect_accesses : ?deadline:float -> Threadify.t -> access list * access list
+(** Uses and frees per modeled thread, in (thread, instance, instruction)
+    order. Exposed for profiling and the equivalence tests. *)
+
+val run :
+  ?deadline:float ->
+  ?max_tuples:int ->
+  ?symbols:Nadroid_datalog.Symbol.t ->
+  Threadify.t ->
+  Escape.t ->
+  warning list
 (** All potential UAFs, deduplicated to (use site, free site) pairs as
     in the paper ("each warning is a pair of free-use operations").
     The candidate join buckets accesses by interned field key before
@@ -56,7 +66,10 @@ val run : ?deadline:float -> ?max_tuples:int -> Threadify.t -> Escape.t -> warni
     [deadline] (absolute instant) is sampled periodically during access
     collection and alias enumeration; [max_tuples] caps the Datalog
     database cardinality. A partial warning list would be unsound, so
-    either bound expiring raises [Fault (Budget P_detect)]. *)
+    either bound expiring raises [Fault (Budget P_detect)].
+
+    [symbols] hands the join's Datalog engine a shared (batch-wide)
+    interning table; results are byte-identical with or without it. *)
 
 val run_reference : Threadify.t -> Escape.t -> warning list
 (** Oracle for the equivalence property test: identical semantics to

@@ -48,6 +48,10 @@ type ctx = {
   locks : Lockset.t;
   guards_cache : (string, Guards.t) Hashtbl.t;
   component_obj : (string, int) Hashtbl.t;  (* component class -> abstract object id *)
+  cancel_cache : (int, (Api.cancel * IntSet.t * IntSet.t) list) Hashtbl.t;
+      (* thread id -> its cancellation calls; CHB queries the same
+         canceller once per surviving pair, and the scan walks every
+         body the thread reaches *)
   atomic_ig : bool;
       (** true: IG/IA/MA require atomicity (nAdroid). false: DEvA-style
           unsound application regardless of concurrency. *)
@@ -66,7 +70,15 @@ let create_ctx ?(atomic_ig = true) ?deadline (tf : Threadify.t) (esc : Escape.t)
       (fun (r : Pta.root) ->
         Hashtbl.replace component_obj r.Pta.r_component.Component.cls r.Pta.r_recv)
       (Pta.roots tf.Threadify.pta);
-  { tf; esc; locks; guards_cache = Hashtbl.create 64; component_obj; atomic_ig }
+  {
+    tf;
+    esc;
+    locks;
+    guards_cache = Hashtbl.create 64;
+    component_obj;
+    cancel_cache = Hashtbl.create 16;
+    atomic_ig;
+  }
 
 let guards_of ctx (mref : Instr.mref) : Guards.t =
   let key = mref.Instr.mr_class ^ "." ^ mref.Instr.mr_name in
@@ -244,8 +256,16 @@ let victim_listener_objs ctx (victim : Threadify.thread) =
   | Threadify.O_main | Threadify.O_root _ -> IntSet.empty
 
 (* All cancellation calls in a thread's reachable code, with their
-   receiver/argument points-to. *)
-let cancel_calls ctx (th : Threadify.thread) : (Api.cancel * IntSet.t * IntSet.t) list =
+   receiver/argument points-to. Memoized per thread. *)
+let rec cancel_calls ctx (th : Threadify.thread) : (Api.cancel * IntSet.t * IntSet.t) list =
+  match Hashtbl.find_opt ctx.cancel_cache th.Threadify.th_id with
+  | Some calls -> calls
+  | None ->
+      let calls = cancel_calls_uncached ctx th in
+      Hashtbl.replace ctx.cancel_cache th.Threadify.th_id calls;
+      calls
+
+and cancel_calls_uncached ctx (th : Threadify.thread) : (Api.cancel * IntSet.t * IntSet.t) list =
   let pta = ctx.tf.Threadify.pta in
   let prog = pta.Pta.prog in
   let out = ref [] in

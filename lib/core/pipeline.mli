@@ -67,11 +67,27 @@ val degradation_to_string : degradation -> string
 
 type timings = { t_modeling : float; t_detection : float; t_filtering : float }
 
+type interner = Nadroid_datalog.Symbol.t
+(** A batch-shared, hash-consed interning table for the detection
+    join's Datalog engine. Create one per batch and pass it to every
+    {!analyze} of the batch: the common strings (field keys, race
+    atoms) are interned once instead of once per app. It is thread-safe
+    (safe to share across the parallel workers of one batch), and
+    sharing never changes any report — engine iteration order is
+    insertion-ordered, independent of id assignment. *)
+
+val create_interner : unit -> interner
+
 (** Per-phase wall times plus per-filter prune counts. Every timed
     region of the analysis is attributed to exactly one field, so
     {!phase_sum} equals [m_wall] up to the plumbing between clock
-    reads. *)
+    reads. The [m_frontend_*] fields are zero when the caller entered
+    at {!analyze_prog} with an already-built program. *)
 type metrics = {
+  m_frontend_lex : float;  (** tokenization *)
+  m_frontend_parse : float;  (** parsing the token stream *)
+  m_frontend_sema : float;  (** name/type resolution *)
+  m_frontend_lower : float;  (** lowering to the CFG IR *)
   m_pta : float;  (** points-to analysis *)
   m_aux : float;  (** escape + lockset analyses *)
   m_threadify : float;  (** forest construction (= modeling) *)
@@ -93,6 +109,9 @@ type metrics = {
 
 val phase_sum : metrics -> float
 
+val frontend_sum : metrics -> float
+(** Sum of the four [m_frontend_*] phases. *)
+
 val timings_of_metrics : metrics -> timings
 (** The paper's three-phase split (§8.8): modeling = threadify,
     detection = points-to + aux + join, filtering = context + filters. *)
@@ -112,12 +131,22 @@ type t = {
   config : config;
 }
 
-val analyze_prog : ?auto_tuples:int -> ?config:config -> Prog.t -> t
+(** Frontend phase times as measured by {!analyze}; {!analyze_prog}
+    merges them into the run's metrics (and [m_wall]). *)
+type frontend_times = { ft_lex : float; ft_parse : float; ft_sema : float; ft_lower : float }
+
+val analyze_prog :
+  ?auto_tuples:int -> ?config:config -> ?interner:interner -> ?frontend:frontend_times ->
+  Prog.t -> t
 (** [auto_tuples] is the size-derived tuple ceiling {!analyze} passes
     down: it bounds the points-to table only (recoverable down the k
     ladder) and is ignored when [config.budgets.pta_tuples] is set. An
     explicit [pta_tuples] additionally hard-bounds the detection join's
-    Datalog database, where no sound partial result exists. *)
+    Datalog database, where no sound partial result exists.
+
+    [interner] hands the detection join a batch-shared symbol table;
+    [frontend] carries the frontend timings of the program being
+    analysed (zero when omitted). Neither changes any result. *)
 
 val auto_pta_steps : loc:int -> int
 (** Default PTA step budget for a [loc]-line app — the budget
@@ -130,13 +159,15 @@ val auto_pta_tuples : loc:int -> int
     [5000 + 100*loc], ~18x above the worst observed k=2 points-to
     tuples-per-line (~5.5) over the corpus and the Synth generator. *)
 
-val analyze : ?config:config -> file:string -> string -> t
-(** Parse, typecheck, lower and analyse a MiniAndroid source. When the
-    config carries no explicit [pta_steps] / [pta_tuples] budget, one is
-    derived from the source size via {!auto_pta_steps} /
+val analyze : ?config:config -> ?interner:interner -> file:string -> string -> t
+(** Parse, typecheck, lower and analyse a MiniAndroid source, timing
+    the four frontend phases into the run's [m_frontend_*] metrics.
+    When the config carries no explicit [pta_steps] / [pta_tuples]
+    budget, one is derived from the source size via {!auto_pta_steps} /
     {!auto_pta_tuples} (the derived tuple ceiling bounds the points-to
     table only); {!analyze_prog} never derives budgets itself (it has no
-    source to size). *)
+    source to size). [interner] shares one symbol table across a batch
+    of analyses without changing any result. *)
 
 (** Counts for an app's Table 1 row. *)
 type row = {
@@ -151,7 +182,10 @@ type row = {
 }
 
 val count_loc : string -> int
-(** Non-blank, non-comment-only ([//]) lines of MiniAndroid source. *)
+(** Non-blank, non-comment-only lines of MiniAndroid source. Both [//]
+    line comments and [/* */] block comments (including every interior
+    line of a multi-line one) are recognised; string literals are
+    scanned so comment-looking text inside them still counts. *)
 
 val row : ?src:string -> t -> row
 

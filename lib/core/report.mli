@@ -36,8 +36,10 @@ val pp_metrics : Pipeline.metrics Fmt.t
 
 val metrics_to_json : ?name:string -> Pipeline.metrics -> string
 (** One flat JSON object:
-    [{"name":..., "pta":s, "aux":s, "threadify":s, "detect":s,
-      "create_ctx":s, "filter":s, "phase_sum":s, "wall":s,
+    [{"name":..., "frontend_lex":s, "frontend_parse":s,
+      "frontend_sema":s, "frontend_lower":s, "pta":s, "aux":s,
+      "threadify":s, "detect":s, "create_ctx":s, "filter":s,
+      "phase_sum":s, "wall":s,
       "pruned":{"MHB":n, ...}, "degraded":["pta-k=1", ...]}]
     (times in seconds). *)
 

@@ -54,7 +54,6 @@ type thread = {
 type t = {
   threads : thread array;
   pta : Pta.t;
-  instances_cache : (int, IntSet.t) Hashtbl.t;  (* thread id -> instance set *)
 }
 
 (* Does this modeled thread execute on the (single) main looper? *)
@@ -97,7 +96,7 @@ let kind_of_edge (sema : Sema.t) (e : Pta.call_edge) ~(callee : Pta.instance) : 
 let run ?deadline (pta : Pta.t) : t =
   let sema = pta.Pta.prog.Prog.sema in
   (* One wall-clock check per thread expansion: each expansion scans the
-     whole edge list, so the overrun past an expired deadline is bounded
+     API edge list, so the overrun past an expired deadline is bounded
      by one scan. A partial forest would silently lose coverage (missing
      threads = missed warnings), so expiry here is a hard fault, not a
      degradation. *)
@@ -129,14 +128,16 @@ let run ?deadline (pta : Pta.t) : t =
         th_component = None;
       }
   in
-  let instances_cache = Hashtbl.create 64 in
-  let intra entry =
-    match Hashtbl.find_opt instances_cache (-entry - 2) with
-    | Some s -> s
-    | None ->
-        let s = Escape.intra_thread_instances pta entry in
-        Hashtbl.replace instances_cache (-entry - 2) s;
-        s
+  let intra entry = Pta.intra_instances pta entry in
+  (* Expansion only reacts to API edges, and they are a small minority of
+     the edge list; filtering once keeps each expansion from rescanning
+     every ordinary call edge. The filtered list is a subsequence of the
+     edge list, so children are still created in edge-list order. *)
+  let api_edges =
+    List.filter
+      (fun (e : Pta.call_edge) ->
+        match e.Pta.ce_kind with Pta.E_api _ -> true | Pta.E_ordinary -> false)
+      (Pta.edges pta)
   in
   (* expand a thread: find API edges inside it and create children *)
   let rec expand (th : thread) (ancestors : int list) =
@@ -170,7 +171,7 @@ let run ?deadline (pta : Pta.t) : t =
               in
               expand child (th.th_entry :: ancestors)
           | Pta.E_api _ -> ())
-        (Pta.edges pta)
+        api_edges
     end
   in
   List.iter
@@ -192,7 +193,7 @@ let run ?deadline (pta : Pta.t) : t =
     (Pta.roots pta);
   let arr = Array.of_list (List.rev !threads) in
   Array.iteri (fun i th -> assert (th.th_id = i)) arr;
-  { threads = arr; pta; instances_cache }
+  { threads = arr; pta }
 
 let threads t = Array.to_list t.threads
 
@@ -200,16 +201,12 @@ let thread t id = t.threads.(id)
 
 let n_threads t = Array.length t.threads
 
-(* Instances executed by a thread (its entry closed under ordinary calls). *)
+(* Instances executed by a thread (its entry closed under ordinary calls).
+   The PTA memoizes the closure per entry, so threads sharing an entry —
+   and the expansions done during [run] — share one computation. *)
 let instances_of t th =
   if th.th_entry < 0 then IntSet.empty
-  else
-    match Hashtbl.find_opt t.instances_cache th.th_id with
-    | Some s -> s
-    | None ->
-        let s = Escape.intra_thread_instances t.pta th.th_entry in
-        Hashtbl.replace t.instances_cache th.th_id s;
-        s
+  else Pta.intra_instances t.pta th.th_entry
 
 let parent t th = Option.map (thread t) th.th_parent
 

@@ -36,7 +36,6 @@ type thread = {
 type t = {
   threads : thread array;
   pta : Pta.t;
-  instances_cache : (int, IntSet.t) Hashtbl.t;
 }
 
 val on_looper : thread -> bool

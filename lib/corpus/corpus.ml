@@ -28,9 +28,11 @@ let all : app list Lazy.t = lazy (Lazy.force train @ Lazy.force test)
 let find name =
   List.find_opt (fun a -> String.equal a.name name) (Lazy.force all)
 
-(* Analyze a batch of apps on a domain pool. Each analysis is
-   self-contained (per-engine interning, per-run hashtables), so apps
-   parallelize without shared state; results come back in input order,
+(* Analyze a batch of apps on a domain pool. The detection join's
+   symbol table is hash-consed once per batch and shared by every
+   worker (it is thread-safe, and engine iteration is insertion-ordered
+   so sharing never changes a report); everything else is per-analysis
+   state, so apps parallelize freely. Results come back in input order,
    independent of [jobs]. Failures are isolated per app: one poisoned
    source yields a structured [Fault.t] in its own slot while the rest
    of the batch completes. *)
@@ -39,10 +41,12 @@ let analyze_all ?config ?jobs ?window ?sched (apps : app list) :
   (* the builtin framework program is a global lazy: force it before
      spawning so domains never race on the thunk *)
   ignore (Lazy.force Nadroid_lang.Builtins.program);
+  let interner = Nadroid_core.Pipeline.create_interner () in
   let arr = Array.of_list apps in
   let out = Array.make (Array.length arr) None in
   Nadroid_core.Parallel.stream ?jobs ?window ?sched ~n:(Array.length arr)
-    (fun i -> Nadroid_core.Pipeline.analyze ?config ~file:arr.(i).name arr.(i).source)
+    (fun i ->
+      Nadroid_core.Pipeline.analyze ?config ~interner ~file:arr.(i).name arr.(i).source)
     (fun i r -> out.(i) <- Some r);
   List.mapi
     (fun i app ->

@@ -41,6 +41,9 @@ let render_all ?jobs ?cache_dir () : (Corpus.app * string) list =
   | Some dir ->
       let apps = Lazy.force Corpus.all in
       ignore (Lazy.force Nadroid_lang.Builtins.program);
+      (* batch-shared symbol table for the cache misses (safe: not part
+         of the cache key, cannot change an entry) *)
+      let interner = Pipeline.create_interner () in
       List.map2
         (fun (app : Corpus.app) r ->
           match r with
@@ -49,7 +52,7 @@ let render_all ?jobs ?cache_dir () : (Corpus.app * string) list =
         apps
         (Nadroid_core.Parallel.map_result ?jobs
            (fun (app : Corpus.app) ->
-             Cache.analyze ~dir ~file:app.Corpus.name app.Corpus.source)
+             Cache.analyze ~interner ~dir ~file:app.Corpus.name app.Corpus.source)
            apps)
 
 type status =

@@ -25,9 +25,15 @@ type t = {
   mutable solved : bool;
 }
 
-let create ?max_tuples () =
+(* [symbols] lets a batch of engines share one hash-consed interning
+   table (it is thread-safe): the common strings — field keys, framework
+   entity names — are interned once per batch instead of once per app.
+   Safe for determinism because no engine output depends on id values:
+   relations iterate in insertion order (see {!Relation.iter}) and
+   {!query} restores names. *)
+let create ?symbols ?max_tuples () =
   {
-    sym = Symbol.create ();
+    sym = (match symbols with Some s -> s | None -> Symbol.create ());
     relations = Hashtbl.create 32;
     budget = Option.map (fun limit -> Relation.budget ~limit) max_tuples;
     rules = [];
@@ -64,6 +70,17 @@ let facts t name tuples =
         (fun args ->
           ignore (Relation.add r (Array.of_list (List.map (Symbol.intern t.sym) args))))
         tuples;
+      t.solved <- false
+
+(* Id-level bulk loading for clients that already interned their
+   columns (e.g. a join staging thousands of accesses): skips the
+   per-tuple string traffic. Each array is consumed as the stored tuple. *)
+let facts_ids t name tuples =
+  match tuples with
+  | [] -> ()
+  | first :: _ ->
+      let r = relation t name ~arity:(Array.length first) in
+      List.iter (fun tup -> ignore (Relation.add r tup)) tuples;
       t.solved <- false
 
 let atom pred args = { pred; args }

@@ -20,8 +20,14 @@ type rule = { head : atom; body : literal list }
 
 type t
 
-val create : ?max_tuples:int -> unit -> t
-(** [max_tuples] caps the combined cardinality of all persistent
+val create : ?symbols:Symbol.t -> ?max_tuples:int -> unit -> t
+(** [symbols] makes the engine intern into an existing (shared,
+    thread-safe) table instead of a private one — one hash-consed
+    domain per batch of engines. Sharing never changes any engine
+    output: relation iteration is insertion-ordered, independent of the
+    id values a shared table happens to assign.
+
+    [max_tuples] caps the combined cardinality of all persistent
     relations (one shared {!Relation.budget}); transient semi-naive
     deltas are exempt, as they only mirror already-charged tuples.
     {!Relation.add} — hence {!fact}/{!facts}/{!solve} — raises
@@ -42,6 +48,12 @@ val fact : t -> string -> string list -> unit
 val facts : t -> string -> string list list -> unit
 (** [facts t pred tuples] bulk-loads EDB tuples: the relation is looked
     up once for the whole batch. Equivalent to [List.iter (fact t pred)]. *)
+
+val facts_ids : t -> string -> int array list -> unit
+(** [facts_ids t pred tuples] bulk-loads EDB tuples whose columns are
+    already interned symbol ids (see {!symbols}); each array becomes the
+    stored tuple. Equivalent to the {!facts} of the corresponding names,
+    without the per-tuple string traffic. *)
 
 val atom : string -> term list -> atom
 

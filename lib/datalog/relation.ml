@@ -23,14 +23,24 @@ let budget_used b = b.b_used
 type t = {
   name : string;
   arity : int;
-  tuples : unit TupleSet.t;
+  tuples : unit TupleSet.t;  (* membership only; never iterated *)
+  mutable order : int array array;  (* tuples in insertion order; grow-only *)
+  mutable count : int;  (* live prefix of [order] *)
   budget : budget option;
   mutable indexes : (int list * (int list, int array list ref) Hashtbl.t) list;
       (* bound-column positions -> (projection of tuple on those columns -> tuples) *)
 }
 
 let create ?budget ~name ~arity () =
-  { name; arity; tuples = TupleSet.create 64; budget; indexes = [] }
+  {
+    name;
+    arity;
+    tuples = TupleSet.create 64;
+    order = Array.make 64 [||];
+    count = 0;
+    budget;
+    indexes = [];
+  }
 
 let name t = t.name
 
@@ -63,6 +73,13 @@ let add t tup =
         b.b_used <- b.b_used + 1;
         if b.b_used > b.b_limit then raise Out_of_budget);
     TupleSet.replace t.tuples tup ();
+    if t.count = Array.length t.order then begin
+      let bigger = Array.make (2 * Array.length t.order) [||] in
+      Array.blit t.order 0 bigger 0 t.count;
+      t.order <- bigger
+    end;
+    t.order.(t.count) <- tup;
+    t.count <- t.count + 1;
     List.iter
       (fun (cols, idx) ->
         let k = project tup cols in
@@ -73,9 +90,24 @@ let add t tup =
     true
   end
 
-let iter f t = TupleSet.iter (fun tup () -> f tup) t.tuples
+(* Iteration runs over the insertion-order array, NOT the hash table:
+   hash order depends on the interned id values inside the tuples, and
+   anything downstream of iteration (query results, derivation order,
+   warning order) must stay byte-identical whether an engine's symbol
+   table is private or shared across a whole batch (where id assignment
+   depends on scheduling). Insertion order is a pure function of the
+   fact/rule evaluation sequence, so it is id-independent. *)
+let iter f t =
+  for i = 0 to t.count - 1 do
+    f (Array.unsafe_get t.order i)
+  done
 
-let fold f acc t = TupleSet.fold (fun tup () acc -> f acc tup) t.tuples acc
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.count - 1 do
+    acc := f !acc (Array.unsafe_get t.order i)
+  done;
+  !acc
 
 let to_list t = fold (fun acc tup -> tup :: acc) [] t
 

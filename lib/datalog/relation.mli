@@ -37,10 +37,17 @@ val n_indexes : t -> int
 (** Number of live column indexes (for tests). *)
 
 val iter : (int array -> unit) -> t -> unit
+(** In insertion order. Iteration (and everything derived from it:
+    {!fold}, {!to_list}, {!lookup} bucket order) is deliberately
+    independent of the interned id {e values} inside the tuples, so
+    query results are byte-identical whether the engine's symbol table
+    is private or shared across a batch. *)
 
 val fold : ('a -> int array -> 'a) -> 'a -> t -> 'a
+(** In insertion order. *)
 
 val to_list : t -> int array list
+(** In reverse insertion order. *)
 
 val lookup : t -> cols:int list -> key:int list -> int array list
 (** All tuples whose projection on [cols] equals [key]; builds and

@@ -19,8 +19,10 @@ type st = {
   mutable n_vars : int;
   mutable n_instrs : int;
   mutable n_allocs : int;
+  mutable n_blocks : int;
   mutable blocks : Cfg.block list;  (* all blocks, reverse creation order *)
-  mutable cur : Cfg.block;
+  mutable cur : Cfg.block;  (* [b_instrs] held in reverse emission order
+                               until [lower_method] finalizes *)
   mutable terminated : bool;  (* whether [cur] already has a real terminator *)
   locals : (string, Instr.var) Hashtbl.t;  (* unique local name -> slot *)
 }
@@ -33,7 +35,8 @@ let fresh_var st name =
   v
 
 let new_block st =
-  let blk = { Cfg.b_id = List.length st.blocks; b_instrs = []; b_term = sentinel_term } in
+  let blk = { Cfg.b_id = st.n_blocks; b_instrs = []; b_term = sentinel_term } in
+  st.n_blocks <- st.n_blocks + 1;
   st.blocks <- blk :: st.blocks;
   blk
 
@@ -41,11 +44,14 @@ let switch_to st blk =
   st.cur <- blk;
   st.terminated <- false
 
+(* Prepend, not append: an append per instruction re-copies the block's
+   list and turns a straight-line body into O(n^2) lowering. Blocks are
+   reversed once at the end of [lower_method]. *)
 let emit st ~loc kind =
   if not st.terminated then begin
     let ins = { Instr.i = kind; loc; id = st.n_instrs } in
     st.n_instrs <- st.n_instrs + 1;
-    st.cur.Cfg.b_instrs <- st.cur.Cfg.b_instrs @ [ ins ]
+    st.cur.Cfg.b_instrs <- ins :: st.cur.Cfg.b_instrs
   end
 
 let set_term st term =
@@ -305,6 +311,7 @@ let lower_method (sema : Sema.t) (m : Sema.rmeth) : Cfg.body =
       n_vars = 0;
       n_instrs = 0;
       n_allocs = 0;
+      n_blocks = 1;
       blocks = [ entry ];
       cur = entry;
       terminated = false;
@@ -325,9 +332,12 @@ let lower_method (sema : Sema.t) (m : Sema.rmeth) : Cfg.body =
   lower_block st m.Sema.rm_body;
   set_term st (Cfg.Ret None);
   let blocks = Array.of_list (List.rev st.blocks) in
-  (* finalize: any block still carrying the sentinel becomes a return *)
+  (* finalize: restore emission order (instrs were prepended), and any
+     block still carrying the sentinel becomes a return *)
   Array.iter
-    (fun blk -> if blk.Cfg.b_term = sentinel_term then blk.Cfg.b_term <- Cfg.Ret None)
+    (fun blk ->
+      blk.Cfg.b_instrs <- List.rev blk.Cfg.b_instrs;
+      if blk.Cfg.b_term = sentinel_term then blk.Cfg.b_term <- Cfg.Ret None)
     blocks;
   Array.iteri (fun i blk -> assert (blk.Cfg.b_id = i)) blocks;
   {

@@ -11,19 +11,27 @@
    allocation site becomes a plain [New] of the hoisted class. *)
 
 type t = {
-  mutable toks : (Token.t * Loc.t) list;
+  toks : (Token.t * Loc.t) array;  (* always ends with a single EOF *)
+  mutable cursor : int;
   mutable hoisted : Ast.cls list;  (* anonymous classes, in reverse order *)
   mutable anon_counter : int;
   file : string;
 }
 
-let create ~file src = { toks = Lexer.tokenize ~file src; hoisted = []; anon_counter = 0; file }
+(* The cursor walks a batch-allocated token array ({!Lexer.tokens})
+   instead of consuming a cons cell per token; [of_tokens] also lets the
+   equivalence tests drive the parser from the reference lexer. *)
+let of_tokens ~file toks = { toks; cursor = 0; hoisted = []; anon_counter = 0; file }
 
-let peek p = match p.toks with [] -> (Token.EOF, Loc.dummy) | t :: _ -> t
+let create ~file src = of_tokens ~file (Lexer.tokens ~file src)
+
+let peek p =
+  if p.cursor < Array.length p.toks then Array.unsafe_get p.toks p.cursor
+  else (Token.EOF, Loc.dummy)
 
 let peek_tok p = fst (peek p)
 
-let advance p = match p.toks with [] -> () | _ :: rest -> p.toks <- rest
+let advance p = if p.cursor < Array.length p.toks then p.cursor <- p.cursor + 1
 
 let cur_loc p = snd (peek p)
 
@@ -433,8 +441,8 @@ let parse_class p : Ast.cls =
 
 (* Parse a complete program. Hoisted anonymous classes are appended after
    the classes in which they appear. *)
-let parse_program ~file src : Ast.program =
-  let p = create ~file src in
+let parse_program_of parser : Ast.program =
+  let p = parser in
   let rec go acc =
     match peek p with
     | Token.EOF, _ -> List.rev acc
@@ -444,3 +452,7 @@ let parse_program ~file src : Ast.program =
   in
   let classes = go [] in
   { Ast.p_classes = classes @ List.rev p.hoisted }
+
+let parse_program ~file src : Ast.program = parse_program_of (create ~file src)
+
+let parse_program_tokens ~file toks : Ast.program = parse_program_of (of_tokens ~file toks)

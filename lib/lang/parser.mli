@@ -7,3 +7,10 @@
     class. Syntax errors raise {!Diag.Error}. *)
 
 val parse_program : file:string -> string -> Ast.program
+
+val parse_program_tokens : file:string -> (Token.t * Loc.t) array -> Ast.program
+(** Parse an already-lexed token stream (as produced by {!Lexer.tokens}:
+    terminated by a single {!Token.EOF}). [parse_program] is
+    [parse_program_tokens ~file (Lexer.tokens ~file src)]; the split lets
+    callers time the two phases separately and lets the equivalence
+    tests drive the parser from the reference lexer. *)

@@ -77,7 +77,15 @@ let keyword_table : (string * t) list =
     ("void", KW_VOID);
   ]
 
-let keyword_of_string s = List.assoc_opt s keyword_table
+(* The lexer hits this on every identifier, so the lookup is a hash
+   table rather than a 20-entry assoc scan. *)
+let keyword_tbl : (string, t) Hashtbl.t Lazy.t =
+  lazy
+    (let h = Hashtbl.create 64 in
+     List.iter (fun (k, v) -> Hashtbl.add h k v) keyword_table;
+     h)
+
+let keyword_of_string s = Hashtbl.find_opt (Lazy.force keyword_tbl) s
 
 let to_string = function
   | INT n -> string_of_int n

@@ -67,13 +67,13 @@ dune exec --no-print-directory bin/nadroid.exe -- golden --dir test/golden --cac
 rm -rf "$cache_dir"
 
 # 9. Perf bench smoke: cold/warm/reference batches must emit the
-#    BENCH_4.json trajectory point with its expected keys.
+#    BENCH_9.json trajectory point with its expected keys.
 dune exec --no-print-directory bench/main.exe -- perf --json --jobs 1 >/dev/null
-for key in '"cold_elapsed"' '"warm_elapsed"' '"reference_elapsed"' '"speedup_cold_vs_reference"' '"warm_hits"' '"pta_visits"' '"pta_steps"'; do
-  case $(cat BENCH_4.json) in
+for key in '"cold_elapsed"' '"warm_elapsed"' '"reference_elapsed"' '"cold_frontend"' '"speedup_cold_vs_reference"' '"warm_hits"' '"pta_visits"' '"pta_steps"'; do
+  case $(cat BENCH_9.json) in
   *${key}*) ;;
   *)
-    echo "ci: BENCH_4.json is missing ${key}" >&2
+    echo "ci: BENCH_9.json is missing ${key}" >&2
     exit 1
     ;;
   esac
@@ -254,5 +254,37 @@ case $(cat BENCH_8.json) in
   ;;
 esac
 rm -rf "$fleet_dir"
+
+# 17. Frontend gate: (a) the frontend-equivalence group — table-driven
+#     lexer, token-array parser and batch-shared interning must be
+#     byte-identical to the reference paths on 200 generated apps and
+#     the corpus, and count_loc must agree with the naive LOC-spec
+#     scanner on every corpus app; (b) perf smoke — the cold corpus
+#     batch must not regress >20% against the committed BENCH_9
+#     trajectory point. Step 9 already overwrote the working-tree
+#     BENCH_9.json, so the baseline comes from HEAD; the measurement is
+#     the better of step 9's run and one fresh run, which keeps a
+#     single noisy run on a loaded machine from failing the gate.
+dune exec --no-print-directory test/test_main.exe -- test frontend-equivalence
+cold_extract() {
+  sed -n 's/.*"cold_elapsed":\([0-9.][0-9.]*\).*/\1/p' "$1"
+}
+baseline_json="_nadroid_cache/ci-bench9-head.$$.json"
+mkdir -p _nadroid_cache
+if git show HEAD:BENCH_9.json > "$baseline_json" 2>/dev/null; then
+  baseline=$(cold_extract "$baseline_json")
+  sample1=$(cold_extract BENCH_9.json)
+  dune exec --no-print-directory bench/main.exe -- perf --json --jobs 1 >/dev/null
+  sample2=$(cold_extract BENCH_9.json)
+  if ! awk -v b="$baseline" -v s1="$sample1" -v s2="$sample2" \
+    'BEGIN { best = (s1 < s2 ? s1 : s2); exit !(best <= b * 1.2) }'; then
+    echo "ci: frontend perf smoke regressed >20% vs committed BENCH_9" \
+      "(baseline ${baseline}s, runs ${sample1}s / ${sample2}s)" >&2
+    exit 1
+  fi
+else
+  echo "ci: no committed BENCH_9.json at HEAD; skipping perf smoke" >&2
+fi
+rm -f "$baseline_json"
 
 echo "ci: ok"

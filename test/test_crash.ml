@@ -63,7 +63,11 @@ let check_entry_equal msg (a : Cache.entry) (b : Cache.entry) =
 
 let zero_metrics =
   {
-    Pipeline.m_pta = 0.0;
+    Pipeline.m_frontend_lex = 0.0;
+    m_frontend_parse = 0.0;
+    m_frontend_sema = 0.0;
+    m_frontend_lower = 0.0;
+    m_pta = 0.0;
     m_aux = 0.0;
     m_threadify = 0.0;
     m_detect = 0.0;
